@@ -1,0 +1,54 @@
+"""Section X-A ablation — scratchpads as storage only (no PISC).
+
+The paper isolates the scratchpads' contribution by disabling the
+PISC engines for PageRank on lj: only 1.3x, versus >3x with PISCs,
+because core-side atomics to remote scratchpads forgo the on-chip
+communication and atomic-offload savings. A second ablation drops the
+source vertex buffer for SSSP (the algorithm it was designed for).
+"""
+
+from repro.bench import format_table
+from repro.config import SimConfig
+
+from conftest import emit
+
+
+def _rows(sims):
+    rows = []
+    full = sims.compare("pagerank", "lj")
+    no_pisc = sims.compare(
+        "pagerank", "lj", omega_config=SimConfig.scaled_omega(use_pisc=False)
+    )
+    rows.append({"configuration": "scratchpads + PISC",
+                 "algorithm": "pagerank", "speedup": round(full.speedup, 2)})
+    rows.append({"configuration": "scratchpads only",
+                 "algorithm": "pagerank", "speedup": round(no_pisc.speedup, 2)})
+
+    sssp_full = sims.compare("sssp", "lj")
+    sssp_nobuf = sims.compare(
+        "sssp", "lj",
+        omega_config=SimConfig.scaled_omega(use_source_buffer=False),
+    )
+    rows.append({"configuration": "with source buffer",
+                 "algorithm": "sssp", "speedup": round(sssp_full.speedup, 2)})
+    rows.append({"configuration": "without source buffer",
+                 "algorithm": "sssp", "speedup": round(sssp_nobuf.speedup, 2)})
+    return rows
+
+
+def test_ablation_pisc_and_srcbuf(benchmark, sims):
+    rows = benchmark.pedantic(lambda: _rows(sims), rounds=1, iterations=1)
+    text = format_table(rows, "Section X-A — component ablations (lj)")
+    text += "\npaper: scratchpads-only 1.3x vs >3x with PISC\n"
+    emit("ablation_pisc", text)
+    by_cfg = {(r["configuration"], r["algorithm"]): r["speedup"] for r in rows}
+    # PISC offloading is the dominant contributor.
+    assert (
+        by_cfg[("scratchpads + PISC", "pagerank")]
+        > by_cfg[("scratchpads only", "pagerank")] + 0.3
+    )
+    # The source buffer helps the src-read-heavy algorithm.
+    assert (
+        by_cfg[("with source buffer", "sssp")]
+        >= by_cfg[("without source buffer", "sssp")]
+    )

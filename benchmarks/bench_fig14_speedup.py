@@ -1,0 +1,65 @@
+"""Figure 14 — OMEGA speedup over the baseline CMP.
+
+The paper's headline result: ~2x mean speedup across algorithms and
+datasets, with PageRank the strongest class (~2.8x mean) and TC the
+weakest. Regenerates one bar per (algorithm, dataset) workload.
+"""
+
+import statistics
+
+from repro.bench import FIG14_WORKLOADS, format_table
+
+from conftest import emit
+
+
+def _rows(sims):
+    rows = []
+    for alg, ds in FIG14_WORKLOADS:
+        cmp = sims.compare(alg, ds)
+        rows.append(
+            {
+                "algorithm": alg,
+                "dataset": ds,
+                "speedup": round(cmp.speedup, 2),
+                "omega hot fraction": round(cmp.omega.hot_fraction, 2),
+                "baseline cycles": round(cmp.baseline.cycles),
+                "omega cycles": round(cmp.omega.cycles),
+            }
+        )
+    return rows
+
+
+def test_fig14_speedup(benchmark, sims):
+    rows = benchmark.pedantic(lambda: _rows(sims), rounds=1, iterations=1)
+    speedups = [r["speedup"] for r in rows]
+    geo = statistics.geometric_mean(speedups)
+    by_alg = {}
+    for r in rows:
+        by_alg.setdefault(r["algorithm"], []).append(r["speedup"])
+    means = {a: round(statistics.geometric_mean(v), 2) for a, v in by_alg.items()}
+
+    text = format_table(rows, "Fig 14 — OMEGA speedup over baseline CMP")
+    text += f"\ngeomean speedup: {geo:.2f}x (paper: ~2x)\n"
+    text += f"per-algorithm geomeans: {means}\n"
+    emit("fig14_speedup", text)
+
+    # Shape checks from the paper's narrative:
+    assert geo > 1.5, f"mean speedup too low: {geo:.2f}"
+    # On the power-law datasets, PageRank is the strongest of the
+    # full-sweep algorithms (the paper's 2.8x-vs-2x ordering)...
+    road = {"rPA", "rCA", "USA"}
+    def _pl_geomean(alg):
+        vals = [r["speedup"] for r in rows
+                if r["algorithm"] == alg and r["dataset"] not in road]
+        return statistics.geometric_mean(vals)
+    assert _pl_geomean("pagerank") > 1.8
+    assert _pl_geomean("pagerank") > _pl_geomean("bfs")
+    # ...and TC is the weakest workload overall ("speedup remains
+    # limited because the algorithm is compute-intensive").
+    assert means["tc"] == min(means.values())
+    # Every power-law workload except TC must come out ahead.
+    for r in rows:
+        if r["dataset"] not in road and r["algorithm"] != "tc":
+            assert r["speedup"] > 1.0, f"{r['algorithm']}/{r['dataset']} lost"
+    # TC may round-trip near 1x but must not regress badly.
+    assert means["tc"] > 0.8

@@ -1,0 +1,42 @@
+"""Figure 15 — last-level storage hit rate for PageRank.
+
+The paper compares the baseline's L2 hit rate against OMEGA's combined
+partitioned storage (half L2 + scratchpads): 44% vs over 75% on
+average. Scratchpad hits count as last-level hits on the OMEGA side.
+"""
+
+from repro.bench import PAGERANK_DATASETS, format_table
+
+from conftest import emit
+
+
+def _rows(sims):
+    rows = []
+    for ds in PAGERANK_DATASETS:
+        cmp = sims.compare("pagerank", ds)
+        rows.append(
+            {
+                "dataset": ds,
+                "baseline LLC hit": round(cmp.baseline.stats.l2_hit_rate, 3),
+                "OMEGA last-level hit": round(
+                    cmp.omega.stats.last_level_hit_rate, 3
+                ),
+            }
+        )
+    return rows
+
+
+def test_fig15_last_level_hit_rate(benchmark, sims):
+    rows = benchmark.pedantic(lambda: _rows(sims), rounds=1, iterations=1)
+    base_mean = sum(r["baseline LLC hit"] for r in rows) / len(rows)
+    omega_mean = sum(r["OMEGA last-level hit"] for r in rows) / len(rows)
+    text = format_table(rows, "Fig 15 — last-level storage hit rate (PageRank)")
+    text += (
+        f"\nmean: baseline {base_mean:.3f} vs OMEGA {omega_mean:.3f}"
+        f" (paper: 0.44 vs >0.75)\n"
+    )
+    emit("fig15_llc_hitrate", text)
+    assert omega_mean > base_mean
+    assert omega_mean > 0.7
+    for r in rows:
+        assert r["OMEGA last-level hit"] >= r["baseline LLC hit"] - 0.02

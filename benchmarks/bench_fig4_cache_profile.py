@@ -1,0 +1,81 @@
+"""Figure 4 — cache profiling on the baseline CMP.
+
+(a) Last-level-cache hit rates for graph workloads (paper: below 50%
+    for power-law datasets on a 20 MB Xeon LLC).
+(b) Fraction of vtxProp accesses that target the 20% most-connected
+    vertices (paper: consistently over 75% for power-law graphs).
+"""
+
+from repro.bench import bench_graph, format_table
+from repro.config import SimConfig
+from repro.algorithms.registry import run_algorithm
+from repro.core.characterization import access_fraction_to_top
+
+from conftest import emit
+
+WORKLOADS = [
+    ("pagerank", "lj"), ("pagerank", "wiki"), ("pagerank", "orkut"),
+    ("pagerank", "ic"), ("bfs", "lj"), ("sssp", "lj"),
+    ("pagerank", "rCA"),
+]
+
+
+def _hit_rate_rows(sims):
+    rows = []
+    for alg, ds in WORKLOADS:
+        rep = sims.run(alg, ds, SimConfig.scaled_baseline())
+        rows.append(
+            {
+                "workload": f"{alg}/{ds}",
+                "LLC hit rate": round(rep.stats.l2_hit_rate, 3),
+                "L1 hit rate": round(
+                    rep.stats.l1_hits / max(rep.stats.l1_accesses, 1), 3
+                ),
+            }
+        )
+    return rows
+
+
+def _top20_rows():
+    from repro.algorithms.registry import ALGORITHMS
+
+    rows = []
+    for alg, ds in WORKLOADS:
+        info = ALGORITHMS[alg]
+        graph, _ = bench_graph(
+            ds, weighted=info.requires_weights,
+            undirected=info.requires_undirected,
+        )
+        res = run_algorithm(alg, graph, num_cores=16, chunk_size=32)
+        rows.append(
+            {
+                "workload": f"{alg}/{ds}",
+                "% vtxProp accesses to top 20%": round(
+                    access_fraction_to_top(res.trace, graph), 1
+                ),
+            }
+        )
+    return rows
+
+
+def test_fig4a_llc_hit_rates(benchmark, sims):
+    rows = benchmark.pedantic(lambda: _hit_rate_rows(sims), rounds=1,
+                              iterations=1)
+    emit("fig4a_llc_hit_rates",
+         format_table(rows, "Fig 4a — baseline cache hit rates"))
+    # Shape: power-law workloads suffer low LLC hit rates.
+    powerlaw = [r for r in rows if "rCA" not in r["workload"]]
+    assert sum(r["LLC hit rate"] for r in powerlaw) / len(powerlaw) < 0.8
+
+
+def test_fig4b_top20_access_fraction(benchmark, sims):
+    rows = benchmark.pedantic(_top20_rows, rounds=1, iterations=1)
+    emit("fig4b_top20_fraction",
+         format_table(rows, "Fig 4b — vtxProp accesses to top-20% vertices"))
+    by_workload = {r["workload"]: r["% vtxProp accesses to top 20%"] for r in rows}
+    # Power-law graphs concentrate accesses; road control does not.
+    for wl, frac in by_workload.items():
+        if "rCA" in wl:
+            assert frac < 45.0
+        else:
+            assert frac > 50.0

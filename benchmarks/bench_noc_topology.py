@@ -1,0 +1,59 @@
+"""Interconnect sensitivity — crossbar (Table III) vs 2D mesh.
+
+The paper's setup uses a 16-port crossbar with a measured 17-cycle
+average remote latency, citing asymmetric high-radix work for scaling
+beyond that. This bench swaps in a 2D-mesh latency model: at 16 cores
+the mesh's ~2.7-hop average (~10 cycles) is *cheaper* than the
+crossbar constant, which narrows OMEGA's margin (remote traffic is
+what OMEGA avoids), illustrating how the proposal's benefit scales
+with on-chip communication cost.
+"""
+
+import dataclasses
+
+from repro.bench import format_table
+from repro.config import InterconnectConfig, SimConfig
+
+from conftest import emit
+
+
+def _rows(sims):
+    rows = []
+    for topo in ("crossbar", "mesh"):
+        ic = InterconnectConfig(topology=topo)
+        base_cfg = dataclasses.replace(
+            SimConfig.scaled_baseline(), name=f"baseline-{topo}",
+            interconnect=ic,
+        )
+        omega_cfg = dataclasses.replace(
+            SimConfig.scaled_omega(), name=f"omega-{topo}", interconnect=ic,
+        )
+        base = sims.run("pagerank", "lj", base_cfg)
+        omega = sims.run("pagerank", "lj", omega_cfg)
+        rows.append(
+            {
+                "topology": topo,
+                "baseline cycles": round(base.cycles),
+                "omega cycles": round(omega.cycles),
+                "speedup": round(base.cycles / omega.cycles, 2),
+            }
+        )
+    return rows
+
+
+def test_noc_topology_sensitivity(benchmark, sims):
+    rows = benchmark.pedantic(lambda: _rows(sims), rounds=1, iterations=1)
+    text = format_table(
+        rows, "NoC topology sensitivity (PageRank, lj, 16 cores)"
+    )
+    text += ("\ncheaper remote hops shrink the communication overhead OMEGA"
+             " eliminates, narrowing (but not erasing) its margin\n")
+    emit("noc_topology", text)
+    by_topo = {r["topology"]: r for r in rows}
+    # The mesh's shorter average distance speeds the baseline up...
+    assert by_topo["mesh"]["baseline cycles"] <= by_topo["crossbar"][
+        "baseline cycles"
+    ]
+    # ...narrowing OMEGA's relative win, which still holds.
+    assert by_topo["mesh"]["speedup"] <= by_topo["crossbar"]["speedup"]
+    assert by_topo["mesh"]["speedup"] > 1.0

@@ -1,0 +1,58 @@
+"""Table IV — peak power and area for a CMP node vs an OMEGA node.
+
+The component budgets come from the paper's own McPAT/Cacti/synthesis
+numbers; the arithmetic reproduces its two deltas: OMEGA occupies
+slightly less area (-2.31%, scratchpads carry no tag arrays) at
+slightly higher peak power (+0.65%).
+"""
+
+from repro.bench import format_table
+from repro.memsim.area import (
+    BASELINE_COMPONENTS,
+    OMEGA_COMPONENTS,
+    area_power_table,
+    node_budget,
+)
+
+from conftest import emit
+
+
+def _rows():
+    rows = []
+    for system, comps in (
+        ("baseline CMP", BASELINE_COMPONENTS),
+        ("OMEGA", OMEGA_COMPONENTS),
+    ):
+        for c in comps:
+            rows.append(
+                {
+                    "system": system,
+                    "component": c.name,
+                    "power (W)": c.power_w,
+                    "area (mm2)": c.area_mm2,
+                }
+            )
+        total = node_budget(comps)
+        rows.append(
+            {
+                "system": system,
+                "component": "Node total",
+                "power (W)": round(total.power_w, 3),
+                "area (mm2)": round(total.area_mm2, 2),
+            }
+        )
+    return rows
+
+
+def test_table4_area_power(benchmark, sims):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    table = area_power_table()
+    text = format_table(rows, "Table IV — peak power and area per node")
+    text += (
+        f"\ndeltas: area {table['delta']['area_pct']:+.2f}%"
+        f" (paper: -2.31%), power {table['delta']['power_pct']:+.2f}%"
+        f" (paper: +0.65%)\n"
+    )
+    emit("table4_area_power", text)
+    assert table["delta"]["area_pct"] < 0
+    assert 0 < table["delta"]["power_pct"] < 2.0

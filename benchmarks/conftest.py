@@ -1,0 +1,113 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one of the paper's tables or
+figures. Comparisons are expensive, so a session-scoped cache shares
+(algorithm, dataset, config) runs across benchmarks, and every bench
+emits its rows both to stdout and to ``benchmarks/results/<name>.txt``
+so EXPERIMENTS.md can be assembled from the artifacts.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.report import Comparison, SimReport
+from repro.core.system import run_system
+from repro.bench.runner import bench_graph
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print()
+    print(text, end="" if text.endswith("\n") else "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+class ComparisonCache:
+    """Session-wide cache of simulation runs keyed by workload+config."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[Tuple, SimReport] = {}
+
+    def _config_key(self, cfg: SimConfig) -> Tuple:
+        return (
+            cfg.name,
+            cfg.core.num_cores,
+            cfg.l1.size_bytes,
+            cfg.l2_per_core.size_bytes,
+            cfg.scratchpad.size_bytes,
+            cfg.use_scratchpad,
+            cfg.use_pisc,
+            cfg.use_source_buffer,
+        )
+
+    def run(
+        self,
+        algorithm: str,
+        dataset: str,
+        config: SimConfig,
+        scale: float = 1.0,
+        **kwargs,
+    ) -> SimReport:
+        """Run (or fetch) one system simulation."""
+        from repro.algorithms.registry import ALGORITHMS
+
+        key = (
+            algorithm,
+            dataset,
+            scale,
+            self._config_key(config),
+            tuple(sorted(kwargs.items())),
+        )
+        if key not in self._runs:
+            info = ALGORITHMS[algorithm]
+            graph, _ = bench_graph(
+                dataset,
+                scale=scale,
+                weighted=info.requires_weights,
+                undirected=info.requires_undirected,
+            )
+            self._runs[key] = run_system(
+                graph, algorithm, config, dataset=dataset, **kwargs
+            )
+        return self._runs[key]
+
+    def compare(
+        self,
+        algorithm: str,
+        dataset: str,
+        baseline_config: Optional[SimConfig] = None,
+        omega_config: Optional[SimConfig] = None,
+        scale: float = 1.0,
+        **kwargs,
+    ) -> Comparison:
+        """Run (or fetch) a baseline-vs-OMEGA comparison."""
+        base = self.run(
+            algorithm, dataset, baseline_config or SimConfig.scaled_baseline(),
+            scale=scale, **kwargs,
+        )
+        omega = self.run(
+            algorithm, dataset, omega_config or SimConfig.scaled_omega(),
+            scale=scale, **kwargs,
+        )
+        return Comparison(baseline=base, omega=omega)
+
+
+_CACHE = ComparisonCache()
+
+
+@pytest.fixture(scope="session")
+def sims() -> ComparisonCache:
+    """The shared simulation cache."""
+    return _CACHE

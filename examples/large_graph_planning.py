@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Capacity planning for graphs that overflow the scratchpads.
+
+The paper's Section VII and Fig 20 address the regime where even the
+top-20% hot set no longer fits on chip: (1) the high-level analytic
+model estimates what a given scratchpad budget still buys, and (2)
+graph slicing — especially the power-law-aware variant — bounds the
+working set per pass. This example plans a paper-scale twitter-2010
+deployment with both tools.
+
+Run:  python examples/large_graph_planning.py
+"""
+
+from repro import SimConfig, load_dataset
+from repro.algorithms import run_pagerank
+from repro.bench import print_table
+from repro.core.analytic import (
+    LARGE_GRAPHS,
+    WorkloadProfile,
+    estimate_cycles,
+    estimate_speedup,
+    zipf_coverage,
+)
+from repro.graph.slicing import num_slices_required
+
+
+def main() -> None:
+    twitter = LARGE_GRAPHS["twitter"]
+    print(f"planning for {twitter.name}: {twitter.num_vertices / 1e6:.1f}M "
+          f"vertices, {twitter.num_edges / 1e9:.2f}B edges\n")
+
+    # Measure the PageRank access mix once, at stand-in scale.
+    graph, _ = load_dataset("lj")
+    res = run_pagerank(graph)
+    profile = WorkloadProfile.from_trace("pagerank", res.trace, graph)
+
+    # Sweep scratchpad budgets at paper scale (Fig 19 x Fig 20).
+    rows = []
+    for mb in (4, 8, 16, 32, 64):
+        omega = SimConfig.paper_omega().with_scratchpad_bytes(
+            mb * 1024 * 1024 // 16
+        )
+        est = estimate_cycles(twitter, profile, omega, bytes_per_vertex=8)
+        speedup = estimate_speedup(
+            twitter, profile, omega_config=omega, bytes_per_vertex=8
+        )
+        rows.append(
+            {
+                "total scratchpad": f"{mb} MB",
+                "hot fraction": round(est.hot_fraction, 3),
+                "access coverage": round(est.sp_coverage, 3),
+                "est. speedup": round(speedup, 2),
+            }
+        )
+    print_table(rows, "Scratchpad budget sweep (analytic, paper scale)")
+    print("\nNote the concave coverage column — the power law means the "
+          "first megabytes buy most of the accesses (47% from just 5% "
+          "of vertices, per the paper's profiling).")
+
+    # Slicing plan (Section VII): how many passes if we insist every
+    # slice's hot set fits in 16 MB?
+    capacity_vertices = 16 * 1024 * 1024 // 9  # 8B rank + active bit
+    plain = num_slices_required(
+        twitter.num_vertices, capacity_vertices, power_law_aware=False
+    )
+    aware = num_slices_required(
+        twitter.num_vertices, capacity_vertices, power_law_aware=True
+    )
+    print("\n== slicing plan (16 MB scratchpad budget) ==")
+    print(f"plain slicing:            {plain} passes over the graph")
+    print(f"power-law-aware slicing:  {aware} passes "
+          f"({plain / aware:.0f}x fewer — the paper's 5x claim)")
+    per_slice_cov = zipf_coverage(0.2, twitter.zipf_s)
+    print(f"each power-law-aware slice still serves "
+          f"~{per_slice_cov:.0%} of its vtxProp accesses on chip")
+
+
+if __name__ == "__main__":
+    main()

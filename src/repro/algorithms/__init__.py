@@ -1,0 +1,48 @@
+"""Graph algorithms over the Ligra-like engine (paper Table II set).
+
+All eight workloads from the paper's evaluation: PageRank, BFS, SSSP,
+BC, Radii, CC, TC and KC, each with a plain-numpy reference oracle for
+testing. Use :func:`repro.algorithms.registry.run_algorithm` to run by
+name with uniform arguments.
+"""
+
+from repro.algorithms.bc import bc_reference_num_paths, run_bc
+from repro.algorithms.bfs import bfs_reference_levels, run_bfs
+from repro.algorithms.cc import cc_reference, run_cc
+from repro.algorithms.common import AlgorithmResult
+from repro.algorithms.kcore import coreness_reference, run_coreness, run_kcore
+from repro.algorithms.pagerank import pagerank_reference, run_pagerank
+from repro.algorithms.radii import radii_reference, run_radii
+from repro.algorithms.registry import (
+    ALGORITHMS,
+    AlgorithmInfo,
+    algorithm_names,
+    run_algorithm,
+)
+from repro.algorithms.sssp import run_sssp, sssp_reference
+from repro.algorithms.tc import run_tc, tc_reference
+
+__all__ = [
+    "AlgorithmResult",
+    "ALGORITHMS",
+    "AlgorithmInfo",
+    "algorithm_names",
+    "run_algorithm",
+    "run_pagerank",
+    "pagerank_reference",
+    "run_bfs",
+    "bfs_reference_levels",
+    "run_sssp",
+    "sssp_reference",
+    "run_bc",
+    "bc_reference_num_paths",
+    "run_radii",
+    "radii_reference",
+    "run_cc",
+    "cc_reference",
+    "run_tc",
+    "tc_reference",
+    "run_kcore",
+    "run_coreness",
+    "coreness_reference",
+]

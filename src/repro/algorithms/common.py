@@ -1,0 +1,82 @@
+"""Shared plumbing for the algorithm implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.ligra.framework import LigraEngine
+from repro.ligra.trace import Trace
+
+__all__ = ["AlgorithmResult", "make_engine", "require_undirected", "default_source"]
+
+
+def default_source(graph: CSRGraph) -> int:
+    """Default traversal root: the highest-out-degree vertex.
+
+    Vertex 0 can be a sink in directed graphs (preferential attachment
+    points new vertices at old ones), so BFS/SSSP/BC default to the
+    vertex most likely to reach a large fraction of the graph — the
+    same pragmatic choice graph benchmarks like Graph500 make.
+    """
+    if graph.num_vertices == 0:
+        raise SimulationError("graph has no vertices")
+    return int(graph.out_degrees().argmax())
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of running one algorithm over one graph.
+
+    Carries both the functional answer (``values``: name → per-vertex
+    array or scalar) and the instrumented engine, from which the memory
+    trace and vtxProp layout can be pulled for simulation.
+    """
+
+    name: str
+    engine: LigraEngine
+    values: Dict[str, np.ndarray]
+    iterations: int
+    _trace: Optional[Trace] = field(default=None, repr=False)
+
+    @property
+    def trace(self) -> Trace:
+        """The memory trace produced during the run (built lazily)."""
+        if self._trace is None:
+            self._trace = self.engine.build_trace()
+        return self._trace
+
+    def value(self, key: str) -> np.ndarray:
+        """Fetch one named output array."""
+        if key not in self.values:
+            raise SimulationError(
+                f"result {self.name!r} has no value {key!r};"
+                f" available: {sorted(self.values)}"
+            )
+        return self.values[key]
+
+
+def make_engine(
+    graph: CSRGraph,
+    num_cores: int,
+    chunk_size: Optional[int],
+    trace: bool,
+) -> LigraEngine:
+    """Construct the engine all algorithm runners share."""
+    return LigraEngine(
+        graph, num_cores=num_cores, chunk_size=chunk_size, trace=trace
+    )
+
+
+def require_undirected(graph: CSRGraph, algorithm: str) -> None:
+    """CC/TC/KC require symmetric graphs (paper Section X: 'CC and TC
+    require symmetric graphs, hence we run them on undirected datasets')."""
+    if graph.directed:
+        raise SimulationError(
+            f"{algorithm} requires an undirected graph; call"
+            " graph.as_undirected() first"
+        )

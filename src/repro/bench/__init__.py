@@ -1,0 +1,24 @@
+"""Benchmark-harness helpers: dataset cache, sweeps, table printers."""
+
+from repro.bench.runner import (
+    BENCH_SCALE,
+    FIG14_WORKLOADS,
+    PAGERANK_DATASETS,
+    bench_graph,
+    run_comparison,
+    sweep,
+)
+from repro.bench.tables import format_table, print_heatmap, print_series, print_table
+
+__all__ = [
+    "BENCH_SCALE",
+    "FIG14_WORKLOADS",
+    "PAGERANK_DATASETS",
+    "bench_graph",
+    "run_comparison",
+    "sweep",
+    "format_table",
+    "print_heatmap",
+    "print_series",
+    "print_table",
+]

@@ -1,0 +1,80 @@
+"""Plain-text table and series printers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures as
+rows on stdout; these helpers keep the formatting consistent so that
+the bench output can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "print_table", "print_series", "print_heatmap"]
+
+Number = Union[int, float]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)\n" if title else "(no rows)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: str = "") -> None:
+    """Print dict-rows as an aligned text table."""
+    print()
+    print(format_table(rows, title), end="")
+
+
+def print_series(
+    series: Mapping[str, Number], title: str = "", unit: str = ""
+) -> None:
+    """Print a one-dimensional label → value series (a bar chart's data)."""
+    print()
+    if title:
+        print(f"== {title} ==")
+    width = max((len(k) for k in series), default=0)
+    for key, value in series.items():
+        suffix = f" {unit}" if unit else ""
+        print(f"{key.ljust(width)}  {_fmt(value)}{suffix}")
+
+
+def print_heatmap(
+    table: Mapping[str, Mapping[str, Number]],
+    title: str = "",
+    col_order: Iterable[str] = (),
+) -> None:
+    """Print a 2-D label map (the Fig 5 heatmap's data)."""
+    cols = list(col_order) or sorted(
+        {c for row in table.values() for c in row}
+    )
+    rows: List[Dict[str, object]] = []
+    for name, row in table.items():
+        out: Dict[str, object] = {"": name}
+        out.update({c: row.get(c, "") for c in cols})
+        rows.append(out)
+    print_table(rows, title)

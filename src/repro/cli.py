@@ -1,0 +1,208 @@
+"""Command-line interface: run OMEGA experiments without writing code.
+
+Usage::
+
+    python -m repro datasets
+    python -m repro run --dataset lj --algorithm pagerank --system omega
+    python -m repro compare --dataset lj --algorithm pagerank
+    python -m repro sweep --algorithms pagerank,bfs --datasets sd,lj
+
+All numbers come from the same drivers the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OMEGA heterogeneous-memory-subsystem reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table I dataset stand-ins")
+
+    validate = sub.add_parser(
+        "validate", help="run the reproduction's acceptance self-check"
+    )
+    validate.add_argument("--scale", type=float, default=0.5,
+                          help="dataset scale for the check")
+
+    run = sub.add_parser("run", help="simulate one system on one workload")
+    _workload_args(run)
+    run.add_argument(
+        "--system",
+        choices=("baseline", "omega", "locked", "graphpim"),
+        default="omega",
+        help="memory-subsystem design to simulate",
+    )
+
+    cmp = sub.add_parser("compare", help="baseline vs OMEGA on one workload")
+    _workload_args(cmp)
+
+    sweep = sub.add_parser("sweep", help="speedups across workloads (Fig 14 style)")
+    sweep.add_argument("--algorithms", default="pagerank",
+                       help="comma-separated algorithm names")
+    sweep.add_argument("--datasets", default="lj",
+                       help="comma-separated dataset names")
+    sweep.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale multiplier")
+    return parser
+
+
+def _workload_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--dataset", required=True, help="Table I abbreviation")
+    sub.add_argument("--algorithm", default="pagerank",
+                     help="registered algorithm name")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale multiplier")
+    sub.add_argument("--cores", type=int, default=16,
+                     help="number of simulated cores")
+
+
+def _load(dataset: str, algorithm: str, scale: float):
+    from repro.algorithms.registry import ALGORITHMS
+    from repro.graph.datasets import load_dataset
+
+    info = ALGORITHMS.get(algorithm)
+    if info is None:
+        raise ReproError(
+            f"unknown algorithm {algorithm!r};"
+            f" available: {', '.join(ALGORITHMS)}"
+        )
+    graph, spec = load_dataset(
+        dataset, scale=scale, weighted=info.requires_weights
+    )
+    if info.requires_undirected and graph.directed:
+        graph = graph.as_undirected()
+    return graph, spec
+
+
+def _cmd_datasets() -> int:
+    from repro.bench.tables import format_table
+    from repro.graph.datasets import DATASETS, dataset_names
+
+    rows = []
+    for name in dataset_names():
+        spec = DATASETS[name]
+        rows.append(
+            {
+                "name": name,
+                "kind": spec.kind,
+                "vertices": spec.base_vertices,
+                "directed": "yes" if spec.directed else "no",
+                "power law": "yes" if spec.power_law else "no",
+                "paper |V| (M)": spec.paper_vertices_m,
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows, "Table I dataset stand-ins"), end="")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.validate import format_validation, run_validation
+
+    results = run_validation(scale=args.scale,
+                             progress=lambda msg: print(f"... {msg}"))
+    print(format_validation(results), end="")
+    return 0 if all(c.passed for c in results) else 1
+
+
+def _cmd_run(args) -> int:
+    from repro.core.system import run_graphpim, run_locked_cache, run_system
+
+    graph, spec = _load(args.dataset, args.algorithm, args.scale)
+    if args.system == "baseline":
+        report = run_system(
+            graph, args.algorithm,
+            SimConfig.scaled_baseline(num_cores=args.cores),
+            dataset=spec.name,
+        )
+    elif args.system == "omega":
+        report = run_system(
+            graph, args.algorithm,
+            SimConfig.scaled_omega(num_cores=args.cores),
+            dataset=spec.name,
+        )
+    elif args.system == "locked":
+        report = run_locked_cache(graph, args.algorithm, dataset=spec.name)
+    else:
+        report = run_graphpim(graph, args.algorithm, dataset=spec.name)
+
+    for key, value in report.summary().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.core.system import compare_systems
+
+    graph, spec = _load(args.dataset, args.algorithm, args.scale)
+    cmp = compare_systems(
+        graph, args.algorithm,
+        baseline_config=SimConfig.scaled_baseline(num_cores=args.cores),
+        omega_config=SimConfig.scaled_omega(num_cores=args.cores),
+        dataset=spec.name,
+    )
+    for key, value in cmp.summary().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench.tables import format_table
+    from repro.core.system import compare_systems
+
+    rows = []
+    for algorithm in args.algorithms.split(","):
+        algorithm = algorithm.strip()
+        for dataset in args.datasets.split(","):
+            dataset = dataset.strip()
+            graph, spec = _load(dataset, algorithm, args.scale)
+            cmp = compare_systems(graph, algorithm, dataset=spec.name)
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "dataset": dataset,
+                    "speedup": round(cmp.speedup, 2),
+                    "traffic x": round(cmp.traffic_reduction, 2),
+                    "energy x": round(cmp.energy_saving, 2),
+                }
+            )
+    print(format_table(rows, "OMEGA vs baseline sweep"), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""High-level analytic model for very large graphs (paper Fig 20).
+
+The paper could not simulate uk-2002 and twitter-2010 in gem5, so it
+built a "high-level simulator" from two approximations: (1) DRAM
+accesses estimated from a measured LLC hit rate, with 100 cycles per
+DRAM access, plus LLC/scratchpad access latencies; (2) remote
+scratchpad accesses at the crossbar's 17-cycle average, with baseline
+atomics charged the same cycles as a PISC op (conservative, favoring
+the baseline). It validated the model against gem5 at small scale
+(within 7%).
+
+This module is the same model. A :class:`WorkloadProfile` captures the
+per-edge/per-vertex access mix — measured from a real small-scale
+trace or synthesized from Table II metadata — and
+:func:`estimate_cycles` prices it for either system at any graph
+scale. Scratchpad coverage at paper scale comes from a Zipf-tail model
+calibrated per dataset against the coverage points the paper itself
+reports (e.g. twitter: top 5% of vertices receive 47% of accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.ligra.trace import AccessClass, FLAG_ATOMIC, FLAG_SRC_READ, Trace
+
+__all__ = [
+    "WorkloadProfile",
+    "zipf_coverage",
+    "calibrate_zipf_exponent",
+    "LargeGraph",
+    "LARGE_GRAPHS",
+    "estimate_cycles",
+    "estimate_speedup",
+    "AnalyticResult",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-edge / per-vertex access mix of one algorithm.
+
+    All rates are *events per processed edge* except
+    ``vtxprop_seq_per_vertex`` (sequential vertexMap traffic per vertex
+    per iteration) and ``iterations`` (effective full-graph passes).
+    """
+
+    name: str
+    vtxprop_atomic_per_edge: float
+    vtxprop_src_read_per_edge: float
+    edgelist_per_edge: float
+    ngraph_per_edge: float
+    vtxprop_seq_per_vertex: float
+    iterations: float = 1.0
+
+    @classmethod
+    def from_trace(
+        cls, name: str, trace: Trace, graph: CSRGraph, iterations: int = 1
+    ) -> "WorkloadProfile":
+        """Measure a profile from a small-scale run's trace."""
+        m = max(graph.num_edges * max(iterations, 1), 1)
+        n = max(graph.num_vertices * max(iterations, 1), 1)
+        classes = trace.access_class
+        flags = trace.flags
+        vtx_mask = classes == int(AccessClass.VTXPROP)
+        atomics = int(((flags & FLAG_ATOMIC) != 0).sum())
+        src_reads = int((((flags & FLAG_SRC_READ) != 0) & vtx_mask).sum())
+        edgelist = int((classes == int(AccessClass.EDGELIST)).sum())
+        ngraph = int((classes == int(AccessClass.NGRAPH)).sum())
+        vtx_total = int(vtx_mask.sum())
+        seq = max(vtx_total - atomics - src_reads, 0)
+        return cls(
+            name=name,
+            vtxprop_atomic_per_edge=atomics / m,
+            vtxprop_src_read_per_edge=src_reads / m,
+            edgelist_per_edge=edgelist / m,
+            ngraph_per_edge=ngraph / m,
+            vtxprop_seq_per_vertex=seq / n,
+            iterations=float(max(iterations, 1)),
+        )
+
+
+def zipf_coverage(fraction: float, s: float) -> float:
+    """Share of accesses captured by the top ``fraction`` of vertices.
+
+    For a Zipf-like access distribution with exponent ``s`` in (0, 1),
+    the partial sums give coverage ≈ ``fraction ** (1 - s)``; natural
+    graphs sit around s ≈ 0.7-0.85 (e.g. coverage(0.20) ≈ 0.77 for
+    ljournal at s = 0.84 — the paper's measured value).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise SimulationError(f"fraction must be in [0, 1], got {fraction}")
+    if not 0.0 < s < 1.0:
+        raise SimulationError(f"zipf exponent must be in (0, 1), got {s}")
+    if fraction == 0.0:
+        return 0.0
+    return min(1.0, fraction ** (1.0 - s))
+
+
+def calibrate_zipf_exponent(fraction: float, coverage: float) -> float:
+    """Solve ``zipf_coverage(fraction, s) == coverage`` for ``s``.
+
+    Used to calibrate a dataset's tail model from one measured
+    coverage point (e.g. the paper's "5% of vertices receive 47% of
+    accesses" for twitter).
+    """
+    if not 0.0 < fraction < 1.0 or not 0.0 < coverage < 1.0:
+        raise SimulationError(
+            f"need fraction, coverage in (0, 1); got {fraction}, {coverage}"
+        )
+    if coverage <= fraction:
+        # No skew at all: uniform access (s -> 0).
+        return 1e-6
+    return 1.0 - np.log(coverage) / np.log(fraction)
+
+
+@dataclass(frozen=True)
+class LargeGraph:
+    """Paper-scale dataset description for the analytic model."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    zipf_s: float
+    #: Baseline LLC hit rate measured on the Xeon (paper's approximation 1).
+    baseline_llc_hit_rate: float
+
+
+#: The two graphs the paper's Fig 20 studies, with tail exponents
+#: calibrated from its quoted coverage points (twitter: 47% @ 5%;
+#: uk: 84.45% in-degree connectivity @ 20%) and Fig 4a hit rates.
+LARGE_GRAPHS: Dict[str, LargeGraph] = {
+    "uk": LargeGraph(
+        name="uk",
+        num_vertices=18_500_000,
+        num_edges=298_000_000,
+        zipf_s=calibrate_zipf_exponent(0.20, 0.8445),
+        baseline_llc_hit_rate=0.40,
+    ),
+    "twitter": LargeGraph(
+        name="twitter",
+        num_vertices=41_600_000,
+        num_edges=1_468_000_000,
+        zipf_s=calibrate_zipf_exponent(0.05, 0.47),
+        baseline_llc_hit_rate=0.35,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AnalyticResult:
+    """Cycle estimate for one system at one scratchpad size."""
+
+    system: str
+    cycles: float
+    sp_coverage: float
+    hot_fraction: float
+
+
+def _cache_access_cost(config: SimConfig, hit_rate: float) -> float:
+    """Average cycles for a cache-path access at a given LLC hit rate."""
+    l2 = config.l2_per_core.latency_cycles
+    dram = config.dram.latency_cycles
+    return config.l1.latency_cycles + l2 + (1.0 - hit_rate) * dram
+
+
+def estimate_cycles(
+    graph: LargeGraph,
+    profile: WorkloadProfile,
+    config: SimConfig,
+    bytes_per_vertex: int,
+    pisc_op_cycles: int = 4,
+) -> AnalyticResult:
+    """Price one system configuration for one paper-scale workload."""
+    n, m = graph.num_vertices, graph.num_edges
+    cores = config.core.num_cores
+    mlp = config.core.mlp
+    remote = config.interconnect.remote_latency_cycles
+    edges_work = m * profile.iterations
+    vertex_work = n * profile.iterations
+
+    atomics = profile.vtxprop_atomic_per_edge * edges_work
+    src_reads = profile.vtxprop_src_read_per_edge * edges_work
+    edgelist = profile.edgelist_per_edge * edges_work
+    ngraph = profile.ngraph_per_edge * edges_work
+    seq = profile.vtxprop_seq_per_vertex * vertex_work
+    total_accesses = atomics + src_reads + edgelist + ngraph + seq
+
+    # edgeList streams through the caches: line-granularity reuse means
+    # ~7/8 of word accesses hit the L1 line already fetched.
+    edge_cost = config.l1.latency_cycles + (1.0 / 8.0) * _cache_access_cost(
+        config, 0.7
+    )
+    ngraph_cost = float(config.l1.latency_cycles)
+
+    if not config.use_scratchpad:
+        vtx_cost = _cache_access_cost(config, graph.baseline_llc_hit_rate)
+        # Approximation 2 (conservative): a baseline atomic costs the
+        # same execution cycles as a PISC op, serialized in the pipeline.
+        serial = atomics * pisc_op_cycles / cores
+        mem = (
+            atomics * vtx_cost
+            + src_reads * vtx_cost
+            + seq * vtx_cost
+            + edgelist * edge_cost
+            + ngraph * ngraph_cost
+        )
+        cycles = total_accesses / cores + serial + mem / (cores * mlp)
+        return AnalyticResult(
+            system=config.name, cycles=cycles, sp_coverage=0.0, hot_fraction=0.0
+        )
+
+    # OMEGA: coverage of the scratchpads at this graph's scale.
+    line_bytes = bytes_per_vertex + 1
+    capacity = min(n, config.scratchpad_total_bytes // line_bytes)
+    hot_fraction = capacity / n if n else 0.0
+    coverage = zipf_coverage(hot_fraction, graph.zipf_s)
+
+    sp_lat = config.scratchpad.latency_cycles
+    local_prob = 1.0 / cores
+    sp_read_cost = sp_lat + (1.0 - local_prob) * remote
+    cold_cost = _cache_access_cost(config, graph.baseline_llc_hit_rate * 0.8)
+
+    offloaded = atomics * coverage if config.use_pisc else 0.0
+    core_atomics = atomics - offloaded
+    # Source reads: half of repeat reads are absorbed by the buffer.
+    srcbuf_rate = 0.5 if config.use_source_buffer else 0.0
+    src_sp = src_reads * coverage
+    src_cost = (1.0 - srcbuf_rate) * sp_read_cost + srcbuf_rate * 1.0
+
+    serial = (
+        offloaded * config.core.offload_issue_cycles
+        + core_atomics * pisc_op_cycles
+    ) / cores
+    mem = (
+        core_atomics * cold_cost
+        + src_sp * src_cost
+        + (src_reads - src_sp) * cold_cost
+        + seq * (coverage * sp_lat + (1.0 - coverage) * cold_cost)
+        + edgelist * edge_cost
+        + ngraph * ngraph_cost
+    )
+    pisc_bound = offloaded * pisc_op_cycles / cores  # ops spread over pads
+    cycles = max(
+        total_accesses / cores + serial + mem / (cores * mlp), pisc_bound
+    )
+    return AnalyticResult(
+        system=config.name,
+        cycles=cycles,
+        sp_coverage=coverage,
+        hot_fraction=hot_fraction,
+    )
+
+
+def estimate_speedup(
+    graph: LargeGraph,
+    profile: WorkloadProfile,
+    baseline_config: Optional[SimConfig] = None,
+    omega_config: Optional[SimConfig] = None,
+    bytes_per_vertex: int = 8,
+) -> float:
+    """OMEGA-over-baseline speedup predicted by the high-level model."""
+    baseline_config = baseline_config or SimConfig.paper_baseline()
+    omega_config = omega_config or SimConfig.paper_omega()
+    base = estimate_cycles(graph, profile, baseline_config, bytes_per_vertex)
+    omega = estimate_cycles(graph, profile, omega_config, bytes_per_vertex)
+    if omega.cycles <= 0:
+        raise SimulationError("analytic omega estimate is non-positive")
+    return base.cycles / omega.cycles

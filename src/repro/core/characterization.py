@@ -1,0 +1,125 @@
+"""Workload characterization (paper Section III-IV, Figures 3-5).
+
+Functions that measure the motivating phenomena directly from traces
+and reports: the fraction of vtxProp accesses targeting the most
+connected vertices (Fig 4b and the Fig 5 heatmap), the TMAM-style
+execution-time breakdown (Fig 3), and measured Table II columns
+(atomic/random access fractions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.graph.csr import CSRGraph
+from repro.graph.degree import TOP_VERTEX_FRACTION
+from repro.ligra.trace import AccessClass, FLAG_ATOMIC, Trace, CACHE_LINE_BYTES
+from repro.core.report import SimReport
+
+__all__ = [
+    "access_fraction_to_top",
+    "tmam_breakdown",
+    "measured_algorithm_profile",
+    "AccessProfile",
+]
+
+
+def access_fraction_to_top(
+    trace: Trace,
+    graph: CSRGraph,
+    fraction: float = TOP_VERTEX_FRACTION,
+    key: str = "in",
+) -> float:
+    """Fraction (%) of vtxProp accesses hitting the top-``fraction``
+    most-connected vertices (the Fig 4b / Fig 5 metric).
+
+    ``graph`` must be the same graph (same vertex ids) the trace was
+    generated from.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise TraceError(f"fraction must be in (0, 1], got {fraction}")
+    ids = trace.vtxprop_vertex_ids()
+    ids = ids[ids >= 0]
+    if len(ids) == 0:
+        return 0.0
+    degrees = graph.in_degrees() if key == "in" else graph.out_degrees()
+    n = graph.num_vertices
+    k = max(1, int(np.ceil(fraction * n)))
+    threshold_order = np.argpartition(-degrees, min(k, n - 1))[:k]
+    top = np.zeros(n, dtype=bool)
+    top[threshold_order] = True
+    return 100.0 * float(top[ids].mean())
+
+
+def tmam_breakdown(report: SimReport) -> Dict[str, float]:
+    """TMAM-style execution breakdown for one run (Fig 3).
+
+    Maps the analytic model's decomposition onto the paper's
+    categories: retiring/frontend ≈ compute issue slots, backend-bound
+    split into memory-bound (overlapped memory latency + serialized
+    stalls) and core-bound (the remainder — zero in this model).
+    """
+    timing = report.timing
+    total = timing.compute_cycles + timing.serial_cycles + timing.memory_cycles
+    if total <= 0:
+        return {"retiring": 0.0, "memory_bound": 0.0, "core_bound": 0.0}
+    memory = (timing.memory_cycles + timing.serial_cycles) / total
+    return {
+        "retiring": timing.compute_cycles / total,
+        "memory_bound": memory,
+        "core_bound": max(0.0, 1.0 - memory - timing.compute_cycles / total),
+    }
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Measured per-class access mix of one algorithm run."""
+
+    total_events: int
+    vtxprop_events: int
+    edgelist_events: int
+    ngraph_events: int
+    atomic_events: int
+    #: Fraction of vtxProp accesses that are non-sequential (estimated
+    #: by address-delta analysis at cache-line granularity).
+    random_fraction: float
+
+    @property
+    def atomic_fraction(self) -> float:
+        """Atomics as a share of all events (Table II '%atomic')."""
+        return self.atomic_events / self.total_events if self.total_events else 0.0
+
+    @property
+    def vtxprop_fraction(self) -> float:
+        """vtxProp events as a share of all events."""
+        return self.vtxprop_events / self.total_events if self.total_events else 0.0
+
+
+def measured_algorithm_profile(trace: Trace) -> AccessProfile:
+    """Measure the Table II access-mix columns from a trace."""
+    n = trace.num_events
+    classes = trace.access_class
+    vtx = int((classes == int(AccessClass.VTXPROP)).sum())
+    edge = int((classes == int(AccessClass.EDGELIST)).sum())
+    ngraph = int((classes == int(AccessClass.NGRAPH)).sum())
+    atomics = int(((trace.flags & FLAG_ATOMIC) != 0).sum())
+
+    vmask = classes == int(AccessClass.VTXPROP)
+    vaddrs = trace.addr[vmask]
+    if len(vaddrs) > 1:
+        lines = vaddrs // CACHE_LINE_BYTES
+        random_fraction = float((np.abs(np.diff(lines)) > 1).mean())
+    else:
+        random_fraction = 0.0
+    return AccessProfile(
+        total_events=n,
+        vtxprop_events=vtx,
+        edgelist_events=edge,
+        ngraph_events=ngraph,
+        atomic_events=atomics,
+        random_fraction=random_fraction,
+    )

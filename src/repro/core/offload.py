@@ -1,0 +1,204 @@
+"""Offload compiler: the source-to-source translation tool (Section V-F).
+
+The paper's tool parses a pre-annotated ``update`` function and emits
+two artifacts, both reproduced here:
+
+1. **Configuration code** — a series of stores to memory-mapped
+   registers executed at application start: the PISC microcode, the
+   atomic op type, and each vtxProp's ``start_addr`` / ``type_size`` /
+   ``stride`` / entry count for the scratchpad controller's monitor
+   unit.
+2. **Offload stubs** — the translated ``update`` body, a short series
+   of stores pushing the operand and destination vertex id to the PISC
+   (the paper's Fig 13 shows the SSSP version: write the computed
+   ShortestLen to register 1, the destination id to register 2).
+
+Compilation works from an :class:`UpdateSpec`, the structured form of
+the paper's annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import OffloadError
+from repro.ligra.atomics import AtomicOp
+from repro.ligra.props import VertexProp
+from repro.memsim.pisc import MicroOp, Microcode
+
+__all__ = [
+    "UpdateSpec",
+    "compile_update",
+    "microcode_for_algorithm",
+    "RegisterWrite",
+    "generate_config_code",
+    "render_offload_stub",
+]
+
+#: Memory-mapped register numbers (one block per vtxProp follows BASE).
+REG_OPTYPE = 0
+REG_NUM_VERTICES = 1
+REG_MICROCODE_BASE = 8
+REG_PROP_BASE = 32
+REGS_PER_PROP = 4  # start_addr, type_size, stride, num_entries
+
+#: Offload stub registers (Fig 13): operand value and destination id.
+REG_OPERAND = 1
+REG_DST_VERTEX = 2
+
+
+@dataclass(frozen=True)
+class UpdateSpec:
+    """Structured description of an annotated update function.
+
+    Attributes
+    ----------
+    name:
+        Update function name (e.g. ``sssp_update``).
+    atomic_op:
+        The ALU operation the PISC must perform.
+    guarded:
+        Whether the update checks a condition before writing (BFS's
+        visited test, SSSP's improvement test).
+    active_list:
+        ``"dense"`` sets the in-line bit, ``"sparse"`` appends the id
+        through the L1, ``None`` maintains no active list (PageRank).
+    """
+
+    name: str
+    atomic_op: AtomicOp
+    guarded: bool = False
+    active_list: Optional[str] = None
+    #: Further ALU operations for compound updates (Radii's
+    #: "or & signed min" performs both in one offload).
+    extra_ops: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.active_list not in (None, "dense", "sparse"):
+            raise OffloadError(
+                f"active_list must be None/'dense'/'sparse',"
+                f" got {self.active_list!r}"
+            )
+
+
+def compile_update(spec: UpdateSpec) -> Microcode:
+    """Compile an update spec to PISC microcode.
+
+    The canonical sequence is read-combine-write, with an optional
+    guard before the combine and an active-list step after the write.
+    """
+    ops: List[MicroOp] = [MicroOp.SP_READ]
+    if spec.guarded:
+        ops.append(MicroOp.GUARD)
+    ops.append(MicroOp.ALU)
+    ops.extend(MicroOp.ALU for _ in spec.extra_ops)
+    ops.append(MicroOp.SP_WRITE)
+    if spec.active_list == "dense":
+        ops.append(MicroOp.SET_ACTIVE_DENSE)
+    elif spec.active_list == "sparse":
+        ops.append(MicroOp.APPEND_ACTIVE_SPARSE)
+    return Microcode(
+        name=spec.name,
+        ops=tuple(ops),
+        alu_op=spec.atomic_op,
+        extra_alu_ops=tuple(spec.extra_ops),
+    )
+
+
+#: UpdateSpec for each of the paper's algorithms (Table II atomic column).
+_ALGORITHM_SPECS = {
+    "pagerank": UpdateSpec("pagerank_update", AtomicOp.FP_ADD),
+    "bfs": UpdateSpec("bfs_update", AtomicOp.UINT_CAS, guarded=True,
+                      active_list="sparse"),
+    "sssp": UpdateSpec("sssp_update", AtomicOp.SINT_MIN, guarded=True,
+                       active_list="sparse"),
+    "bc": UpdateSpec("bc_update", AtomicOp.FP_ADD_DEP, guarded=True,
+                     active_list="sparse"),
+    "radii": UpdateSpec("radii_update", AtomicOp.OR, guarded=True,
+                        active_list="dense",
+                        extra_ops=(AtomicOp.SINT_MIN,)),
+    "cc": UpdateSpec("cc_update", AtomicOp.UINT_MIN, guarded=True,
+                     active_list="dense"),
+    "tc": UpdateSpec("tc_update", AtomicOp.SINT_ADD),
+    "kc": UpdateSpec("kc_update", AtomicOp.SINT_ADD, guarded=True,
+                     active_list="sparse"),
+}
+
+
+def microcode_for_algorithm(name: str) -> Microcode:
+    """Microcode for one of the registered algorithms."""
+    spec = _ALGORITHM_SPECS.get(name)
+    if spec is None:
+        raise OffloadError(
+            f"no update spec for algorithm {name!r};"
+            f" known: {', '.join(_ALGORITHM_SPECS)}"
+        )
+    return compile_update(spec)
+
+
+@dataclass(frozen=True)
+class RegisterWrite:
+    """One generated store to a memory-mapped configuration register."""
+
+    register: int
+    value: int
+    comment: str = ""
+
+    def render(self) -> str:
+        """C-like store statement, as the paper's tool emits."""
+        suffix = f"  // {self.comment}" if self.comment else ""
+        return f"mmio_write(R{self.register}, {self.value:#x});{suffix}"
+
+
+def generate_config_code(
+    props: Sequence[VertexProp],
+    microcode: Microcode,
+    num_vertices: int,
+) -> List[RegisterWrite]:
+    """Emit the application-start configuration store sequence.
+
+    Covers everything Section V-F lists: "the optype, the start address
+    of vtxProp, the number of vertices, the per-vertex entry size, and
+    its stride", plus the microcode itself.
+    """
+    if num_vertices < 0:
+        raise OffloadError(f"num_vertices must be >= 0, got {num_vertices}")
+    writes = [
+        RegisterWrite(REG_OPTYPE, list(AtomicOp).index(microcode.alu_op),
+                      f"optype = {microcode.alu_op.value}"),
+        RegisterWrite(REG_NUM_VERTICES, num_vertices, "number of vertices"),
+    ]
+    for i, op in enumerate(microcode.ops):
+        writes.append(
+            RegisterWrite(REG_MICROCODE_BASE + i, list(MicroOp).index(op),
+                          f"microcode[{i}] = {op.value}")
+        )
+    for p, prop in enumerate(props):
+        base = REG_PROP_BASE + p * REGS_PER_PROP
+        writes.extend(
+            [
+                RegisterWrite(base, prop.start_addr,
+                              f"{prop.name}.start_addr"),
+                RegisterWrite(base + 1, prop.type_size,
+                              f"{prop.name}.type_size"),
+                RegisterWrite(base + 2, prop.stride, f"{prop.name}.stride"),
+                RegisterWrite(base + 3, prop.num_vertices,
+                              f"{prop.name}.num_entries"),
+            ]
+        )
+    return writes
+
+
+def render_offload_stub(spec: UpdateSpec) -> Tuple[str, ...]:
+    """The translated update body (the paper's Fig 13 for SSSP).
+
+    Two stores replace the original read-modify-write: the operand to
+    register 1 and the destination vertex id to register 2.
+    """
+    return (
+        f"// generated from annotated {spec.name}()",
+        f"mmio_write(R{REG_OPERAND}, operand);   "
+        f"// value for {spec.atomic_op.paper_label}",
+        f"mmio_write(R{REG_DST_VERTEX}, dst_id); // triggers PISC execution",
+    )

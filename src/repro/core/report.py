@@ -1,0 +1,153 @@
+"""Simulation reports: the structured output of a full-system run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.memsim.core_model import TimingResult
+from repro.memsim.energy import EnergyBreakdown
+from repro.memsim.hierarchy import ReplayOutput
+from repro.memsim.stats import MemStats
+
+__all__ = ["SimReport", "Comparison"]
+
+
+@dataclass
+class SimReport:
+    """Everything measured from one (system, algorithm, graph) run."""
+
+    system: str
+    algorithm: str
+    dataset: str
+    config: SimConfig
+    stats: MemStats
+    timing: TimingResult
+    energy: EnergyBreakdown
+    replay: ReplayOutput = field(repr=False, default=None)
+    #: Scratchpad coverage of this run (0 for the baseline).
+    hot_capacity: int = 0
+    hot_fraction: float = 0.0
+    num_vertices: int = 0
+    num_edges: int = 0
+    trace_events: int = 0
+
+    @property
+    def cycles(self) -> float:
+        """Total simulated cycles."""
+        return self.timing.total_cycles
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall-clock time."""
+        return self.timing.seconds(self.config.core.freq_ghz)
+
+    @property
+    def dram_bandwidth_gbps(self) -> float:
+        """Achieved DRAM bandwidth (the Fig 16 metric)."""
+        return self.replay.dram.utilization_gbps(
+            self.timing.total_cycles, self.config.core.freq_ghz
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for table printers."""
+        return {
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "cycles": round(self.cycles),
+            "l2_hit_rate": round(self.stats.l2_hit_rate, 4),
+            "last_level_hit_rate": round(self.stats.last_level_hit_rate, 4),
+            "onchip_traffic_bytes": self.stats.onchip_traffic_bytes,
+            "dram_bytes": self.stats.dram_bytes,
+            "dram_bw_gbps": round(self.dram_bandwidth_gbps, 3),
+            "energy_nj": round(self.energy.total_nj, 1),
+            "hot_fraction": round(self.hot_fraction, 4),
+            "bottleneck": self.timing.bottleneck,
+        }
+
+    def to_dict(self) -> Dict:
+        """Full machine-readable form (for JSON export / archiving)."""
+        return {
+            "summary": self.summary(),
+            "workload": {
+                "num_vertices": self.num_vertices,
+                "num_edges": self.num_edges,
+                "trace_events": self.trace_events,
+                "hot_capacity": self.hot_capacity,
+            },
+            "stats": self.stats.as_dict(),
+            "timing": {
+                "total_cycles": self.timing.total_cycles,
+                "bottleneck": self.timing.bottleneck,
+                "bounds": dict(self.timing.bounds),
+                "memory_bound_fraction": self.timing.memory_bound_fraction,
+            },
+            "energy_nj": self.energy.as_dict(),
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` as pretty-printed JSON."""
+        import json
+
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Baseline-vs-OMEGA comparison for one workload (one Fig 14 bar)."""
+
+    baseline: SimReport
+    omega: SimReport
+
+    def __post_init__(self) -> None:
+        if self.baseline.algorithm != self.omega.algorithm:
+            raise SimulationError(
+                "comparison mixes algorithms:"
+                f" {self.baseline.algorithm} vs {self.omega.algorithm}"
+            )
+
+    @property
+    def speedup(self) -> float:
+        """Baseline cycles over OMEGA cycles (>1 means OMEGA wins)."""
+        if self.omega.cycles <= 0:
+            raise SimulationError("omega run has zero cycles")
+        return self.baseline.cycles / self.omega.cycles
+
+    @property
+    def traffic_reduction(self) -> float:
+        """On-chip traffic ratio, baseline over OMEGA (Fig 17)."""
+        omega_bytes = self.omega.stats.onchip_traffic_bytes
+        return (
+            self.baseline.stats.onchip_traffic_bytes / omega_bytes
+            if omega_bytes
+            else float("inf")
+        )
+
+    @property
+    def dram_bw_improvement(self) -> float:
+        """DRAM bandwidth-utilization ratio, OMEGA over baseline (Fig 16)."""
+        base = self.baseline.dram_bandwidth_gbps
+        return self.omega.dram_bandwidth_gbps / base if base else float("inf")
+
+    @property
+    def energy_saving(self) -> float:
+        """Memory-system energy ratio, baseline over OMEGA (Fig 21)."""
+        omega_nj = self.omega.energy.total_nj
+        return self.baseline.energy.total_nj / omega_nj if omega_nj else float("inf")
+
+    def summary(self) -> Dict[str, float]:
+        """Headline ratios for table printers."""
+        return {
+            "algorithm": self.baseline.algorithm,
+            "dataset": self.baseline.dataset,
+            "speedup": round(self.speedup, 3),
+            "traffic_reduction": round(self.traffic_reduction, 3),
+            "dram_bw_improvement": round(self.dram_bw_improvement, 3),
+            "energy_saving": round(self.energy_saving, 3),
+            "baseline_llc_hit": round(self.baseline.stats.l2_hit_rate, 4),
+            "omega_ll_hit": round(self.omega.stats.last_level_hit_rate, 4),
+        }

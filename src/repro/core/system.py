@@ -1,0 +1,289 @@
+"""Full-system drivers: run an algorithm on a graph through a hierarchy.
+
+This is the library's main entry point. :func:`run_system` executes one
+(algorithm, graph, configuration) triple end-to-end:
+
+1. optionally reorder the graph by popularity (OMEGA's offline
+   preprocessing, Section VI — nth-element in-degree by default),
+2. run the algorithm over the Ligra engine, collecting the memory
+   trace,
+3. size the scratchpad mapping from the algorithm's vtxProp footprint
+   (Section V-A: one line holds all of a vertex's entries plus the
+   active bit) and compile the algorithm's update function to PISC
+   microcode (Section V-F),
+4. replay the trace through the baseline or OMEGA hierarchy, and
+5. fold the counters into timing and energy.
+
+:func:`compare_systems` runs both systems on the same workload and
+returns the paper's headline ratios (speedup, traffic reduction, DRAM
+bandwidth improvement, energy saving).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.graph.csr import CSRGraph
+from repro.graph.reorder import reorder_nth_element
+from repro.algorithms.common import AlgorithmResult, default_source
+from repro.algorithms.registry import run_algorithm
+from repro.core.offload import microcode_for_algorithm
+from repro.core.report import Comparison, SimReport
+from repro.memsim.core_model import compute_timing
+from repro.memsim.energy import EnergyModel
+from repro.memsim.hierarchy import BaselineHierarchy, OmegaHierarchy
+from repro.memsim.mapping import ScratchpadMapping
+from repro.memsim.scratchpad import hot_capacity_for
+
+__all__ = [
+    "run_system",
+    "compare_systems",
+    "run_locked_cache",
+    "run_graphpim",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: Default OpenMP-schedule chunk (and matching scratchpad-mapping chunk).
+DEFAULT_CHUNK_SIZE = 32
+
+
+def run_system(
+    graph: CSRGraph,
+    algorithm: str,
+    config: SimConfig,
+    dataset: str = "",
+    chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    sp_chunk_size: Optional[int] = None,
+    reorder: Optional[bool] = None,
+    energy_model: Optional[EnergyModel] = None,
+    **alg_kwargs,
+) -> SimReport:
+    """Run one algorithm on one graph through one system configuration.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (in its original vertex order).
+    algorithm:
+        Registered algorithm name (see :mod:`repro.algorithms.registry`).
+    config:
+        System description; ``config.use_scratchpad`` selects the
+        OMEGA hierarchy, otherwise the baseline CMP.
+    dataset:
+        Label recorded in the report.
+    chunk_size:
+        OpenMP static-schedule chunk for the engine.
+    sp_chunk_size:
+        Scratchpad-mapping chunk; defaults to ``chunk_size`` (the
+        matched configuration of Section V-D). Pass a different value
+        to reproduce the mismatch experiment.
+    reorder:
+        Apply nth-element in-degree reordering before running. Default:
+        ``True`` for OMEGA (its required preprocessing), ``False`` for
+        the baseline (the paper's baseline runs the original ordering).
+    energy_model:
+        Energy constants; defaults to :class:`EnergyModel`.
+    alg_kwargs:
+        Extra arguments for the algorithm runner (source vertex, etc.).
+    """
+    is_omega = config.use_scratchpad
+    if reorder is None:
+        reorder = is_omega
+    # Pin traversal roots to a *logical* vertex before any relabeling,
+    # so baseline and OMEGA runs traverse the same workload.
+    if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
+        alg_kwargs["source"] = default_source(graph)
+    work_graph = graph
+    if reorder:
+        work_graph, new_ids = reorder_nth_element(graph, key="in")
+        if "source" in alg_kwargs and alg_kwargs["source"] is not None:
+            alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
+
+    result: AlgorithmResult = run_algorithm(
+        algorithm,
+        work_graph,
+        num_cores=config.core.num_cores,
+        chunk_size=chunk_size,
+        trace=True,
+        **alg_kwargs,
+    )
+    trace = result.trace
+    # vtxProp address ranges: the spatially-random regions the hybrid
+    # DRAM page policy serves close-page (Section IX direction 3).
+    vtx_ranges = [
+        (p.start_addr, p.region.end) for p in result.engine.vtx_props
+    ]
+
+    hot_capacity = 0
+    if is_omega:
+        bytes_per_vertex = result.engine.vtxprop_bytes_per_vertex()
+        hot_capacity = hot_capacity_for(
+            config.scratchpad_total_bytes,
+            bytes_per_vertex,
+            work_graph.num_vertices,
+        )
+        mapping = ScratchpadMapping(
+            num_cores=config.core.num_cores,
+            hot_capacity=hot_capacity,
+            chunk_size=sp_chunk_size if sp_chunk_size is not None else chunk_size,
+        )
+        microcode = microcode_for_algorithm(algorithm) if config.use_pisc else None
+        hierarchy = OmegaHierarchy(
+            config, mapping, microcode, dram_random_ranges=vtx_ranges
+        )
+    else:
+        hierarchy = BaselineHierarchy(config, dram_random_ranges=vtx_ranges)
+
+    output = hierarchy.replay(trace)
+    timing = compute_timing(output, config)
+    model = energy_model or EnergyModel()
+    energy = model.breakdown(output.stats)
+
+    n = work_graph.num_vertices
+    return SimReport(
+        system=config.name,
+        algorithm=algorithm,
+        dataset=dataset,
+        config=config,
+        stats=output.stats,
+        timing=timing,
+        energy=energy,
+        replay=output,
+        hot_capacity=hot_capacity,
+        hot_fraction=hot_capacity / n if n else 0.0,
+        num_vertices=n,
+        num_edges=work_graph.num_edges,
+        trace_events=trace.num_events,
+    )
+
+
+def run_locked_cache(
+    graph: CSRGraph,
+    algorithm: str,
+    config: Optional[SimConfig] = None,
+    dataset: str = "",
+    chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    energy_model: Optional[EnergyModel] = None,
+    **alg_kwargs,
+) -> SimReport:
+    """Run the Section IX locked-cache alternative.
+
+    Hot vertices (the same popularity partition OMEGA uses) are pinned
+    in the shared L2; everything else behaves like the baseline. The
+    default config is the scaled-OMEGA storage split (halved L2 — the
+    other half is the locked region) with PISCs disabled, keeping the
+    total-on-chip-storage comparison fair.
+    """
+    from repro.memsim.alternatives import LockedCacheHierarchy
+
+    if config is None:
+        config = SimConfig.scaled_omega(use_pisc=False, use_source_buffer=False)
+    if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
+        alg_kwargs["source"] = default_source(graph)
+    work_graph, new_ids = reorder_nth_element(graph, key="in")
+    if "source" in alg_kwargs and alg_kwargs["source"] is not None:
+        alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
+    result = run_algorithm(
+        algorithm, work_graph, num_cores=config.core.num_cores,
+        chunk_size=chunk_size, trace=True, **alg_kwargs,
+    )
+    # The locked region is sized exactly like OMEGA's scratchpads.
+    hot_capacity = hot_capacity_for(
+        config.scratchpad_total_bytes or config.total_onchip_bytes // 2,
+        result.engine.vtxprop_bytes_per_vertex(),
+        work_graph.num_vertices,
+    )
+    mapping = ScratchpadMapping(
+        config.core.num_cores, hot_capacity, chunk_size=chunk_size
+    )
+    output = LockedCacheHierarchy(config, mapping).replay(result.trace)
+    timing = compute_timing(output, config)
+    model = energy_model or EnergyModel()
+    n = work_graph.num_vertices
+    return SimReport(
+        system="locked-cache",
+        algorithm=algorithm,
+        dataset=dataset,
+        config=config,
+        stats=output.stats,
+        timing=timing,
+        energy=model.breakdown(output.stats),
+        replay=output,
+        hot_capacity=hot_capacity,
+        hot_fraction=hot_capacity / n if n else 0.0,
+        num_vertices=n,
+        num_edges=work_graph.num_edges,
+        trace_events=result.trace.num_events,
+    )
+
+
+def run_graphpim(
+    graph: CSRGraph,
+    algorithm: str,
+    config: Optional[SimConfig] = None,
+    dataset: str = "",
+    chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    energy_model: Optional[EnergyModel] = None,
+    pim=None,
+    **alg_kwargs,
+) -> SimReport:
+    """Run the GraphPIM-style comparator (atomics offloaded off-chip).
+
+    Uses the baseline's full cache hierarchy (GraphPIM repurposes no
+    storage) and runs on the *original* vertex order (it needs no
+    popularity preprocessing).
+    """
+    from repro.memsim.alternatives import PimHierarchy
+
+    if config is None:
+        config = SimConfig.scaled_baseline()
+    if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
+        alg_kwargs["source"] = default_source(graph)
+    result = run_algorithm(
+        algorithm, graph, num_cores=config.core.num_cores,
+        chunk_size=chunk_size, trace=True, **alg_kwargs,
+    )
+    output = PimHierarchy(config, pim).replay(result.trace)
+    timing = compute_timing(output, config)
+    model = energy_model or EnergyModel()
+    return SimReport(
+        system="graphpim",
+        algorithm=algorithm,
+        dataset=dataset,
+        config=config,
+        stats=output.stats,
+        timing=timing,
+        energy=model.breakdown(output.stats),
+        replay=output,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        trace_events=result.trace.num_events,
+    )
+
+
+def compare_systems(
+    graph: CSRGraph,
+    algorithm: str,
+    baseline_config: Optional[SimConfig] = None,
+    omega_config: Optional[SimConfig] = None,
+    dataset: str = "",
+    **kwargs,
+) -> Comparison:
+    """Run baseline and OMEGA on the same workload; return the ratios.
+
+    Defaults to the scaled Table III configurations with equal total
+    on-chip storage (the paper's "same-sized" comparison).
+    """
+    baseline_config = baseline_config or SimConfig.scaled_baseline()
+    omega_config = omega_config or SimConfig.scaled_omega()
+    if baseline_config.use_scratchpad:
+        raise SimulationError("baseline_config must not use scratchpads")
+    if not omega_config.use_scratchpad:
+        raise SimulationError("omega_config must use scratchpads")
+    base = run_system(
+        graph, algorithm, baseline_config, dataset=dataset, **kwargs
+    )
+    omega = run_system(graph, algorithm, omega_config, dataset=dataset, **kwargs)
+    return Comparison(baseline=base, omega=omega)

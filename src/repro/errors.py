@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or graph operations."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing a malformed edge-list file."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulator or system configurations."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed memory traces or trace misuse."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot proceed."""
+
+
+class OffloadError(ReproError):
+    """Raised when an update function cannot be compiled to PISC microcode."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or bad dataset parameters."""

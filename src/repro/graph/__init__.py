@@ -1,0 +1,65 @@
+"""Graph substrate: CSR container, generators, analytics, reordering.
+
+Public entry points:
+
+- :class:`~repro.graph.csr.CSRGraph` and :func:`~repro.graph.csr.from_edges`
+- generators in :mod:`repro.graph.generators`
+- Table I analytics in :mod:`repro.graph.degree`
+- Section VI reordering in :mod:`repro.graph.reorder`
+- Section VII slicing in :mod:`repro.graph.slicing`
+- dataset stand-ins in :mod:`repro.graph.datasets`
+"""
+
+from repro.graph.csr import CSRGraph, from_edges
+from repro.graph.datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+from repro.graph.dynamic import (
+    DynamicGraph,
+    hot_set,
+    hot_set_overlap,
+    preferential_edges,
+    uniform_edges,
+)
+from repro.graph.degree import (
+    GraphCharacterization,
+    characterize,
+    is_power_law,
+    top_fraction_connectivity,
+)
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    road_graph,
+)
+from repro.graph.reorder import (
+    reorder_by_degree,
+    reorder_nth_element,
+    reorder_slashburn,
+    reorder_top_fraction,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "DynamicGraph",
+    "hot_set",
+    "hot_set_overlap",
+    "preferential_edges",
+    "uniform_edges",
+    "GraphCharacterization",
+    "characterize",
+    "is_power_law",
+    "top_fraction_connectivity",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "rmat_graph",
+    "road_graph",
+    "reorder_by_degree",
+    "reorder_nth_element",
+    "reorder_slashburn",
+    "reorder_top_fraction",
+]

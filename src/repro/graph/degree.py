@@ -1,0 +1,140 @@
+"""Degree analytics: connectivity skew, power-law detection, Table I.
+
+The paper's working definition of a power-law ("natural") graph is the
+80/20 rule: ~20% of the vertices are incident to ~80% of the edges
+(Section II, citing Newman). Table I characterizes every dataset by the
+fraction of in-edges and out-edges incident to the 20% most-connected
+vertices ("in-degree con." / "out-degree con."); graphs above ~44% are
+flagged power-law, road networks sit near 29%.
+
+This module computes those exact columns, plus the generic
+``top_fraction_connectivity`` primitive used throughout the
+characterization figures (Fig 4b, Fig 5, Fig 19, Fig 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "top_fraction_connectivity",
+    "is_power_law",
+    "GraphCharacterization",
+    "characterize",
+    "degree_histogram",
+    "power_law_exponent",
+]
+
+#: Fraction of vertices considered "most connected" in the paper's 80/20 rule.
+TOP_VERTEX_FRACTION = 0.20
+
+#: Edge-coverage threshold above which we label a graph power-law. The
+#: paper's power-law datasets have in-degree connectivity >= 58.7 and its
+#: road controls ~29; we place the boundary midway.
+POWER_LAW_CONNECTIVITY_THRESHOLD = 45.0
+
+
+def top_fraction_connectivity(
+    degrees: np.ndarray, fraction: float = TOP_VERTEX_FRACTION
+) -> float:
+    """Percentage of edge endpoints incident to the top ``fraction`` vertices.
+
+    ``degrees`` is a per-vertex degree vector (in- or out-). Returns a
+    percentage in ``[0, 100]`` — e.g. 80.0 means the top 20% of vertices
+    by degree account for 80% of the edges, the canonical power law.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise GraphError(f"fraction must be in (0, 1], got {fraction}")
+    deg = np.asarray(degrees, dtype=np.int64)
+    total = int(deg.sum())
+    if total == 0:
+        return 0.0
+    k = max(1, int(np.ceil(fraction * len(deg))))
+    # Partial selection of the k largest degrees (the "n-th element"
+    # approach the paper favors for its linear average complexity).
+    top = np.partition(deg, len(deg) - k)[len(deg) - k :]
+    return 100.0 * float(top.sum()) / total
+
+
+def is_power_law(
+    graph: CSRGraph,
+    fraction: float = TOP_VERTEX_FRACTION,
+    threshold: float = POWER_LAW_CONNECTIVITY_THRESHOLD,
+) -> bool:
+    """Apply the paper's practical power-law test to a graph.
+
+    A graph is "natural" if the top ``fraction`` of vertices by
+    in-degree hold at least ``threshold`` percent of the in-edges.
+    """
+    return top_fraction_connectivity(graph.in_degrees(), fraction) >= threshold
+
+
+def degree_histogram(degrees: np.ndarray) -> np.ndarray:
+    """Count of vertices per degree value: ``hist[d] = #vertices of degree d``."""
+    deg = np.asarray(degrees, dtype=np.int64)
+    if len(deg) == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(deg)
+
+
+def power_law_exponent(degrees: np.ndarray, d_min: int = 1) -> float:
+    """Maximum-likelihood power-law exponent of a degree distribution.
+
+    Uses the discrete approximation ``alpha = 1 + n / sum(ln(d / (d_min - 0.5)))``
+    (Clauset–Shalizi–Newman). Natural graphs typically land in [1.8, 3].
+    Returns ``nan`` when fewer than two vertices have degree >= d_min.
+    """
+    deg = np.asarray(degrees, dtype=np.float64)
+    deg = deg[deg >= d_min]
+    if len(deg) < 2:
+        return float("nan")
+    return 1.0 + len(deg) / float(np.log(deg / (d_min - 0.5)).sum())
+
+
+@dataclass(frozen=True)
+class GraphCharacterization:
+    """One row of the paper's Table I."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    directed: bool
+    in_degree_connectivity: float
+    out_degree_connectivity: float
+    power_law: bool
+
+    def as_row(self) -> dict:
+        """Dictionary form for table printers."""
+        return {
+            "name": self.name,
+            "#vertices": self.num_vertices,
+            "#edges": self.num_edges,
+            "type": "dir." if self.directed else "undir.",
+            "in-degree con.": round(self.in_degree_connectivity, 2),
+            "out-degree con.": round(self.out_degree_connectivity, 2),
+            "power law": "yes" if self.power_law else "no",
+        }
+
+
+def characterize(graph: CSRGraph, name: str = "") -> GraphCharacterization:
+    """Compute the Table I characterization row for ``graph``.
+
+    Edge counts follow the paper's convention: the number of edges as
+    listed in the dataset (undirected edges counted once).
+    """
+    in_con = top_fraction_connectivity(graph.in_degrees())
+    out_con = top_fraction_connectivity(graph.out_degrees())
+    return GraphCharacterization(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_input_edges,
+        directed=graph.directed,
+        in_degree_connectivity=in_con,
+        out_degree_connectivity=out_con,
+        power_law=in_con >= POWER_LAW_CONNECTIVITY_THRESHOLD,
+    )

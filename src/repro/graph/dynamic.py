@@ -1,0 +1,199 @@
+"""Dynamic graphs (paper Section IX, "Dynamic graphs").
+
+OMEGA identifies its hot set with an *offline* reordering pass, so the
+open question the paper defers to future work is: as edges arrive and
+depart, how quickly does the hot set drift, and how much benefit
+survives running on a stale mapping until the framework re-identifies
+the popular vertices?
+
+This module provides the substrate for that study: a mutable edge-set
+wrapper over :class:`~repro.graph.csr.CSRGraph` with batched updates,
+two mutation models (preferential growth, which is how natural graphs
+actually evolve, and uniform churn), and the hot-set overlap metric
+that quantifies drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.degree import TOP_VERTEX_FRACTION
+
+__all__ = [
+    "DynamicGraph",
+    "hot_set",
+    "hot_set_overlap",
+    "preferential_edges",
+    "uniform_edges",
+]
+
+
+class DynamicGraph:
+    """A graph under edit: batched edge insertions and deletions.
+
+    Vertex ids are stable across snapshots (new vertices may be
+    appended). Deletions remove one matching arc per request, matching
+    multigraph semantics.
+    """
+
+    def __init__(self, graph: CSRGraph) -> None:
+        src, dst = graph.edge_arrays()
+        if not graph.directed:
+            # Keep one arc per undirected edge; snapshots re-symmetrize.
+            keep = src <= dst
+            w = graph.out_weights[keep] if graph.out_weights is not None else None
+            src, dst = src[keep], dst[keep]
+        else:
+            w = graph.out_weights.copy() if graph.out_weights is not None else None
+        self._directed = graph.directed
+        self._num_vertices = graph.num_vertices
+        self._src = list(src.tolist())
+        self._dst = list(dst.tolist())
+        self._weights = list(w.tolist()) if w is not None else None
+        self.edges_added = 0
+        self.edges_removed = 0
+
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex-id space size."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of (logical) edges."""
+        return len(self._src)
+
+    def add_vertices(self, count: int) -> int:
+        """Append ``count`` fresh vertices; returns the first new id."""
+        if count < 0:
+            raise GraphError(f"count must be >= 0, got {count}")
+        first = self._num_vertices
+        self._num_vertices += count
+        return first
+
+    def add_edges(
+        self,
+        src,
+        dst,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Insert a batch of edges (endpoints must already exist)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphError("src and dst must have equal length")
+        if len(src) and (
+            min(src.min(), dst.min()) < 0
+            or max(src.max(), dst.max()) >= self._num_vertices
+        ):
+            raise GraphError("edge endpoints out of range")
+        if (weights is None) != (self._weights is None):
+            raise GraphError(
+                "weighted-ness of the batch must match the graph"
+            )
+        self._src.extend(src.tolist())
+        self._dst.extend(dst.tolist())
+        if weights is not None:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != src.shape:
+                raise GraphError("weights must match the batch length")
+            self._weights.extend(w.tolist())
+        self.edges_added += len(src)
+
+    def remove_edges(self, src, dst) -> int:
+        """Remove one matching arc per (src, dst) pair; returns count."""
+        wanted = {}
+        for s, d in zip(np.asarray(src).tolist(), np.asarray(dst).tolist()):
+            wanted[(s, d)] = wanted.get((s, d), 0) + 1
+        keep_src, keep_dst, keep_w = [], [], []
+        removed = 0
+        for i, (s, d) in enumerate(zip(self._src, self._dst)):
+            if wanted.get((s, d), 0) > 0:
+                wanted[(s, d)] -= 1
+                removed += 1
+                continue
+            keep_src.append(s)
+            keep_dst.append(d)
+            if self._weights is not None:
+                keep_w.append(self._weights[i])
+        self._src, self._dst = keep_src, keep_dst
+        if self._weights is not None:
+            self._weights = keep_w
+        self.edges_removed += removed
+        return removed
+
+    def snapshot(self) -> CSRGraph:
+        """Materialize the current edge set as an immutable CSR graph."""
+        return CSRGraph(
+            self._num_vertices,
+            self._src,
+            self._dst,
+            weights=self._weights,
+            directed=self._directed,
+        )
+
+
+def hot_set(graph: CSRGraph, fraction: float = TOP_VERTEX_FRACTION) -> np.ndarray:
+    """Ids of the top-``fraction`` vertices by in-degree."""
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    k = max(1, int(np.ceil(fraction * n)))
+    deg = graph.in_degrees()
+    return np.argpartition(-deg, min(k, n - 1))[:k].astype(np.int64)
+
+
+def hot_set_overlap(
+    old: CSRGraph, new: CSRGraph, fraction: float = TOP_VERTEX_FRACTION
+) -> float:
+    """Fraction of the *new* hot set already present in the old one.
+
+    1.0 means a stale mapping still covers every currently-hot vertex;
+    the metric degrades as the graph's popularity ranking drifts.
+    Vertices added after the old snapshot count as misses.
+    """
+    old_hot = set(hot_set(old, fraction).tolist())
+    new_hot = hot_set(new, fraction)
+    if len(new_hot) == 0:
+        return 1.0
+    return sum(1 for v in new_hot.tolist() if v in old_hot) / len(new_hot)
+
+
+def preferential_edges(
+    graph: CSRGraph,
+    num_edges: int,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate growth edges by preferential attachment.
+
+    Endpoints are drawn proportionally to (1 + degree), the mechanism
+    the paper cites for why natural graphs are power-law in the first
+    place — under this model the hot set is highly stable.
+    """
+    if num_edges < 0:
+        raise GraphError(f"num_edges must be >= 0, got {num_edges}")
+    rng = np.random.default_rng(seed)
+    weights = (graph.in_degrees() + graph.out_degrees() + 1).astype(np.float64)
+    p = weights / weights.sum()
+    dst = rng.choice(graph.num_vertices, size=num_edges, p=p)
+    src = rng.integers(0, graph.num_vertices, size=num_edges)
+    return src.astype(np.int64), dst.astype(np.int64)
+
+
+def uniform_edges(
+    graph: CSRGraph,
+    num_edges: int,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate growth edges with uniform endpoints (adversarial churn:
+    new edges ignore popularity, eroding the hot set fastest)."""
+    if num_edges < 0:
+        raise GraphError(f"num_edges must be >= 0, got {num_edges}")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, graph.num_vertices, size=num_edges)
+    dst = rng.integers(0, graph.num_vertices, size=num_edges)
+    return src.astype(np.int64), dst.astype(np.int64)

@@ -1,0 +1,24 @@
+"""Synthetic graph generators used to stand in for the paper's datasets.
+
+Power-law families (the "natural graphs" OMEGA targets):
+
+- :func:`rmat_graph` — R-MAT recursive matrix (Graph500 parameters).
+- :func:`barabasi_albert_graph` — preferential attachment.
+
+Non-power-law controls:
+
+- :func:`road_graph` — planar road-network lattice (roadNet/USA stand-in).
+- :func:`erdos_renyi_graph` — uniform random graph.
+"""
+
+from repro.graph.generators.barabasi_albert import barabasi_albert_graph
+from repro.graph.generators.erdos_renyi import erdos_renyi_graph
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.road import road_graph
+
+__all__ = [
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "rmat_graph",
+    "road_graph",
+]

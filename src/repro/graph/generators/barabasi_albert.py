@@ -1,0 +1,90 @@
+"""Barabási–Albert preferential-attachment generator.
+
+The paper (Section II) cites Barabási and Albert's "preferential
+attachment" as the mechanism behind the abundance of power-law graphs:
+a new vertex joining a graph most likely connects to an already popular
+vertex. This generator implements that process directly and is used to
+synthesize the social-network-like dataset stand-ins (orkut, lj, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["barabasi_albert_graph"]
+
+
+def barabasi_albert_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed: Optional[int] = None,
+    directed: bool = True,
+    weighted: bool = False,
+    hubward_fraction: float = 0.8,
+) -> CSRGraph:
+    """Generate a preferential-attachment graph.
+
+    Each new vertex attaches ``edges_per_vertex`` edges to existing
+    vertices chosen proportionally to their current degree (implemented
+    with the standard repeated-endpoints trick: sampling uniformly from
+    the list of all prior edge endpoints is equivalent to sampling
+    proportionally to degree).
+
+    For ``directed=True``, ``hubward_fraction`` of the edges point at
+    the preferentially chosen (popular) endpoint and the rest point
+    away from it. This keeps the in-degree connectivity skew near the
+    levels the paper's Table I reports for social graphs (~60-85% of
+    in-edges on the top 20% of vertices) while the hub-outgoing share
+    makes forward traversals reach a large component instead of only a
+    vertex's "ancestors".
+    """
+    m = edges_per_vertex
+    if m <= 0:
+        raise GraphError(f"edges_per_vertex must be > 0, got {m}")
+    if num_vertices <= m:
+        raise GraphError(
+            f"num_vertices ({num_vertices}) must exceed edges_per_vertex ({m})"
+        )
+    rng = np.random.default_rng(seed)
+
+    src = np.empty((num_vertices - m - 1) * m + m, dtype=np.int64)
+    dst = np.empty_like(src)
+
+    # Seed clique-ish start: vertex m connects to all of 0..m-1.
+    src[:m] = m
+    dst[:m] = np.arange(m)
+    # `endpoints` holds one entry per attachment target so far; sampling
+    # uniformly from it is degree-proportional sampling.
+    endpoints = list(range(m))
+    pos = m
+    for v in range(m + 1, num_vertices):
+        # Sample m distinct targets degree-proportionally (with simple
+        # rejection to avoid parallel edges).
+        chosen: set = set()
+        while len(chosen) < m:
+            t = endpoints[int(rng.integers(0, len(endpoints)))]
+            chosen.add(t)
+        for t in chosen:
+            src[pos] = v
+            dst[pos] = t
+            pos += 1
+            endpoints.append(t)
+            endpoints.append(v)
+    if directed:
+        if not 0.0 <= hubward_fraction <= 1.0:
+            raise GraphError(
+                f"hubward_fraction must be in [0, 1], got {hubward_fraction}"
+            )
+        # src currently holds the new vertex, dst the popular endpoint;
+        # flip the minority of edges to point out of the hubs.
+        flip = rng.random(len(src)) >= hubward_fraction
+        src, dst = np.where(flip, dst, src), np.where(flip, src, dst)
+    weights = (
+        rng.integers(1, 64, size=len(src)).astype(np.float64) if weighted else None
+    )
+    return CSRGraph(num_vertices, src, dst, weights=weights, directed=directed)

@@ -1,0 +1,82 @@
+"""R-MAT recursive-matrix graph generator.
+
+R-MAT (Chakrabarti, Zhan, Faloutsos, 2004) recursively subdivides the
+adjacency matrix into quadrants with probabilities ``(a, b, c, d)``.
+With the default skew (``a=0.57, b=0.19, c=0.19, d=0.05``, the Graph500
+parameters) the resulting degree distribution follows a power law,
+which is exactly the structural property OMEGA exploits. The paper's
+``rMat`` dataset (2M vertices, 25M edges) is one of its power-law
+workloads; we regenerate it here at configurable scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["rmat_graph"]
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 12,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    directed: bool = True,
+) -> CSRGraph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the number of vertices.
+    edge_factor:
+        Average out-degree; ``num_edges = edge_factor * 2**scale``.
+    a, b, c:
+        Quadrant probabilities; ``d = 1 - a - b - c`` must be positive.
+    seed:
+        Seed for reproducible generation.
+    weighted:
+        Attach uniform-random edge weights in ``[1, 64)`` (integers),
+        matching the common SSSP setup.
+    directed:
+        Emit a directed graph (the paper's rMat dataset is directed).
+    """
+    if scale < 0:
+        raise GraphError(f"scale must be >= 0, got {scale}")
+    if edge_factor <= 0:
+        raise GraphError(f"edge_factor must be > 0, got {edge_factor}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or max(a, b, c, d) > 1:
+        raise GraphError(f"invalid quadrant probabilities a={a} b={b} c={c} d={d}")
+
+    rng = np.random.default_rng(seed)
+    num_vertices = 1 << scale
+    num_edges = edge_factor * num_vertices
+
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    # At each of the `scale` levels, choose a quadrant for every edge.
+    p_right = b + d  # probability the column bit is 1 overall...
+    del p_right  # (computed per-level below conditioned on the row bit)
+    for _ in range(scale):
+        r = rng.random(num_edges)
+        # Row bit set iff we land in quadrants c or d.
+        row_bit = r >= a + b
+        # Column bit conditioned on the row bit.
+        col_r = rng.random(num_edges)
+        top_col = col_r >= a / (a + b)  # within top half, quadrant b
+        bot_col = col_r >= c / (c + d) if (c + d) > 0 else np.ones(num_edges, bool)
+        col_bit = np.where(row_bit, bot_col, top_col)
+        src = (src << 1) | row_bit
+        dst = (dst << 1) | col_bit
+
+    weights = rng.integers(1, 64, size=num_edges).astype(np.float64) if weighted else None
+    return CSRGraph(num_vertices, src, dst, weights=weights, directed=directed)

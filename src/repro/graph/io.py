@@ -1,0 +1,154 @@
+"""Edge-list text I/O.
+
+Supports the two formats most of the paper's sources use:
+
+- SNAP-style whitespace-separated ``src dst`` (optionally ``src dst w``)
+  with ``#`` comment lines, and
+- DIMACS ``.gr`` shortest-path format (``p sp n m`` header, ``a u v w``
+  arc lines, 1-based ids) used by the Western-USA road dataset.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["load_edge_list", "save_edge_list", "load_dimacs", "save_dimacs"]
+
+
+def load_edge_list(
+    path: "os.PathLike[str] | str",
+    directed: bool = True,
+    num_vertices: Optional[int] = None,
+) -> CSRGraph:
+    """Load a SNAP-style whitespace-separated edge list.
+
+    Lines starting with ``#`` are comments, except a ``# vertices N``
+    header (as written by :func:`save_edge_list`), which pins the
+    vertex count so isolated trailing vertices survive a round trip.
+    Each data line is ``src dst`` or ``src dst weight``. Vertex ids
+    are 0-based.
+    """
+    src: List[int] = []
+    dst: List[int] = []
+    weights: List[float] = []
+    saw_weight = False
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                parts = line[1:].split()
+                if (
+                    num_vertices is None
+                    and len(parts) == 2
+                    and parts[0] == "vertices"
+                    and parts[1].isdigit()
+                ):
+                    num_vertices = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2 or len(parts) > 3:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'src dst [weight]', got {line!r}"
+                )
+            try:
+                src.append(int(parts[0]))
+                dst.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer vertex id in {line!r}"
+                ) from exc
+            if len(parts) == 3:
+                saw_weight = True
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: non-numeric weight in {line!r}"
+                    ) from exc
+            elif saw_weight:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: mixed weighted and unweighted lines"
+                )
+    if num_vertices is None:
+        num_vertices = (max(max(src, default=-1), max(dst, default=-1)) + 1) if src else 0
+    return CSRGraph(
+        num_vertices,
+        src,
+        dst,
+        weights=weights if saw_weight else None,
+        directed=directed,
+    )
+
+
+def save_edge_list(graph: CSRGraph, path: "os.PathLike[str] | str") -> None:
+    """Write a graph as a SNAP-style edge list (stored arcs, 0-based ids)."""
+    src, dst = graph.edge_arrays()
+    weights = graph.out_weights
+    with open(path, "w") as f:
+        f.write(f"# vertices {graph.num_vertices}\n")
+        f.write(f"# arcs {graph.num_edges}\n")
+        if weights is None:
+            for s, d in zip(src, dst):
+                f.write(f"{s} {d}\n")
+        else:
+            for s, d, w in zip(src, dst, weights):
+                f.write(f"{s} {d} {w:g}\n")
+
+
+def load_dimacs(path: "os.PathLike[str] | str") -> CSRGraph:
+    """Load a DIMACS shortest-path ``.gr`` file (directed, 1-based ids)."""
+    src: List[int] = []
+    dst: List[int] = []
+    weights: List[float] = []
+    declared_n: Optional[int] = None
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: bad problem line {line!r}"
+                    )
+                declared_n = int(parts[2])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise GraphFormatError(f"{path}:{lineno}: bad arc line {line!r}")
+                try:
+                    u, v, w = int(parts[1]), int(parts[2]), float(parts[3])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: non-numeric arc field in {line!r}"
+                    ) from exc
+                if u < 1 or v < 1:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: DIMACS ids are 1-based, got {u}, {v}"
+                    )
+                src.append(u - 1)
+                dst.append(v - 1)
+                weights.append(w)
+            else:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: unknown record type {parts[0]!r}"
+                )
+    if declared_n is None:
+        raise GraphFormatError(f"{path}: missing 'p sp' problem line")
+    return CSRGraph(declared_n, src, dst, weights=weights, directed=True)
+
+
+def save_dimacs(graph: CSRGraph, path: "os.PathLike[str] | str") -> None:
+    """Write a graph as a DIMACS ``.gr`` file (weights default to 1)."""
+    src, dst = graph.edge_arrays()
+    weights = graph.out_weights
+    with open(path, "w") as f:
+        f.write("c repro DIMACS export\n")
+        f.write(f"p sp {graph.num_vertices} {graph.num_edges}\n")
+        for i, (s, d) in enumerate(zip(src, dst)):
+            w = weights[i] if weights is not None else 1
+            f.write(f"a {s + 1} {d + 1} {w:g}\n")

@@ -1,0 +1,35 @@
+"""Ligra-like vertex-centric framework substrate.
+
+Provides the programming model the paper's algorithms run on — vertex
+subsets, property arrays with explicit memory layout, atomic update
+vocabulary, and the edgeMap/vertexMap engine that both computes results
+and emits the memory traces consumed by :mod:`repro.memsim`.
+"""
+
+from repro.ligra.atomics import AtomicOp, apply_atomic, scatter_atomic
+from repro.ligra.framework import LigraEngine
+from repro.ligra.props import VertexProp
+from repro.ligra.trace import (
+    AccessClass,
+    AddressSpace,
+    Trace,
+    TraceBuilder,
+    CACHE_LINE_BYTES,
+    WORD_BYTES,
+)
+from repro.ligra.vertex_subset import VertexSubset
+
+__all__ = [
+    "AtomicOp",
+    "apply_atomic",
+    "scatter_atomic",
+    "LigraEngine",
+    "VertexProp",
+    "AccessClass",
+    "AddressSpace",
+    "Trace",
+    "TraceBuilder",
+    "CACHE_LINE_BYTES",
+    "WORD_BYTES",
+    "VertexSubset",
+]

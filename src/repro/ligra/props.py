@@ -1,0 +1,143 @@
+"""Vertex-property arrays with explicit memory layout.
+
+A :class:`VertexProp` pairs a numpy value array with the address-layout
+metadata the OMEGA scratchpad controller's *address monitoring
+registers* need (Section V-A): ``start_addr``, ``type_size`` and
+``stride``. The stride differs from the type size when the property is
+a field inside an array-of-structs, which the paper calls out
+explicitly; :func:`alloc_struct_props` models that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.ligra.trace import AccessClass, AddressSpace, Region
+
+__all__ = ["VertexProp", "alloc_prop", "alloc_struct_props"]
+
+
+@dataclass
+class VertexProp:
+    """A per-vertex property array plus its virtual-memory layout.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (e.g. ``next_pagerank``).
+    values:
+        The numpy backing array (one entry per vertex).
+    region:
+        Address-space region the array occupies.
+    type_size:
+        Bytes per entry as laid out in memory (the paper's vtxProp
+        entry sizes range from 1 to 8 bytes — Table II).
+    stride:
+        Distance in bytes between consecutive entries; equals
+        ``type_size`` for a plain array, larger for struct members.
+    """
+
+    name: str
+    values: np.ndarray
+    region: Region
+    type_size: int
+    stride: int
+
+    @property
+    def start_addr(self) -> int:
+        """Base address (the monitor register's ``start_addr``)."""
+        return self.region.base
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of entries."""
+        return len(self.values)
+
+    def addr(self, vertices: np.ndarray) -> np.ndarray:
+        """Virtual addresses of the entries for ``vertices`` (vectorized)."""
+        return self.region.base + np.asarray(vertices, dtype=np.int64) * self.stride
+
+    def addr_one(self, vertex: int) -> int:
+        """Virtual address of a single vertex's entry."""
+        if not 0 <= vertex < len(self.values):
+            raise TraceError(
+                f"vertex {vertex} out of range for prop {self.name!r}"
+            )
+        return self.region.base + vertex * self.stride
+
+    def vertex_of(self, addr: int) -> int:
+        """Inverse of :meth:`addr_one` (the controller's index unit)."""
+        off = addr - self.region.base
+        if off < 0 or off >= self.region.size:
+            raise TraceError(f"address {addr:#x} outside prop {self.name!r}")
+        return off // self.stride
+
+
+def alloc_prop(
+    space: AddressSpace,
+    name: str,
+    num_vertices: int,
+    dtype: np.dtype,
+    type_size: int = 0,
+    fill: float = 0,
+) -> VertexProp:
+    """Allocate a plain per-vertex property array.
+
+    ``type_size`` defaults to the dtype's item size; pass it explicitly
+    to model narrower in-memory layouts (e.g. a 1-byte bool).
+    """
+    dtype = np.dtype(dtype)
+    tsize = type_size or dtype.itemsize
+    if tsize <= 0:
+        raise TraceError(f"type_size must be > 0, got {tsize}")
+    region = space.allocate(name, num_vertices * tsize, AccessClass.VTXPROP)
+    values = np.full(num_vertices, fill, dtype=dtype)
+    return VertexProp(
+        name=name, values=values, region=region, type_size=tsize, stride=tsize
+    )
+
+
+def alloc_struct_props(
+    space: AddressSpace,
+    struct_name: str,
+    num_vertices: int,
+    fields: Sequence[Tuple[str, np.dtype]],
+) -> List[VertexProp]:
+    """Allocate several properties packed as an array-of-structs.
+
+    Each field gets ``stride = struct size`` and an offset base address,
+    modeling the case the paper describes where "the vtxProp is part of
+    a 'struct' data structure" and the monitor register's stride is the
+    distance between consecutive entries of the same field.
+    """
+    if not fields:
+        raise TraceError("struct must have at least one field")
+    dtypes = [np.dtype(d) for _, d in fields]
+    struct_size = sum(d.itemsize for d in dtypes)
+    region = space.allocate(
+        struct_name, num_vertices * struct_size, AccessClass.VTXPROP
+    )
+    props: List[VertexProp] = []
+    offset = 0
+    for (fname, _), dtype in zip(fields, dtypes):
+        sub_region = Region(
+            name=f"{struct_name}.{fname}",
+            base=region.base + offset,
+            size=num_vertices * struct_size - offset,
+            access_class=AccessClass.VTXPROP,
+        )
+        props.append(
+            VertexProp(
+                name=f"{struct_name}.{fname}",
+                values=np.zeros(num_vertices, dtype=dtype),
+                region=sub_region,
+                type_size=dtype.itemsize,
+                stride=struct_size,
+            )
+        )
+        offset += dtype.itemsize
+    return props

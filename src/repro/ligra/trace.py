@@ -1,0 +1,363 @@
+"""Memory-trace model: events, address space, and the trace buffer.
+
+The trace-driven simulator (``repro.memsim``) replays streams of memory
+accesses produced by the Ligra engine. Each event records which core
+issued it, the virtual address and size, which of the paper's three
+data-structure classes it belongs to (``vtxProp``, ``edgeList``,
+``nGraphData`` — Section II "Graph data structures"), whether it is a
+write and/or an atomic RMW, whether it is a *source-vertex* read
+(eligible for OMEGA's source vertex buffer, Section V-C), and the
+vertex id it refers to (for scratchpad partitioning).
+
+Events are stored column-wise in numpy arrays and appended in
+vectorized batches, never one Python object per access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = [
+    "AccessClass",
+    "Region",
+    "AddressSpace",
+    "Trace",
+    "TraceBuilder",
+    "FLAG_WRITE",
+    "FLAG_ATOMIC",
+    "FLAG_SRC_READ",
+    "FLAG_UPDATE",
+    "WORD_BYTES",
+    "CACHE_LINE_BYTES",
+]
+
+#: Machine word size (the paper's max vtxProp entry is 8 bytes).
+WORD_BYTES = 8
+#: Cache line / block size used throughout the paper's setup (Table III).
+CACHE_LINE_BYTES = 64
+
+FLAG_WRITE = 1
+FLAG_ATOMIC = 2
+FLAG_SRC_READ = 4
+#: The event is an algorithm update-function application on the
+#: destination vertex (offloadable to a PISC even when not atomic —
+#: GraphMat-style owner-writes frameworks).
+FLAG_UPDATE = 8
+
+
+class AccessClass(enum.IntEnum):
+    """The paper's three-way data-structure classification."""
+
+    VTXPROP = 0
+    EDGELIST = 1
+    NGRAPH = 2
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named contiguous address range belonging to one access class."""
+
+    name: str
+    base: int
+    size: int
+    access_class: AccessClass
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside this region."""
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Simple bump allocator handing out page-aligned virtual regions.
+
+    Mirrors how the graph framework lays its arrays out in memory; the
+    scratchpad controller's *address monitoring registers* (Section
+    V-A) are configured from the vtxProp regions allocated here.
+    """
+
+    PAGE = 4096
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._next = base
+        self._regions: List[Region] = []
+
+    def allocate(self, name: str, size: int, access_class: AccessClass) -> Region:
+        """Reserve ``size`` bytes for ``name`` and return the region."""
+        if size < 0:
+            raise TraceError(f"region size must be >= 0, got {size}")
+        base = self._next
+        span = max(size, 1)
+        self._next = base + ((span + self.PAGE - 1) // self.PAGE) * self.PAGE
+        region = Region(name=name, base=base, size=size, access_class=access_class)
+        self._regions.append(region)
+        return region
+
+    @property
+    def regions(self) -> Sequence[Region]:
+        """All allocated regions, in allocation order."""
+        return tuple(self._regions)
+
+    def classify(self, addr: int) -> AccessClass:
+        """Class of the region containing ``addr`` (NGRAPH if unmapped)."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region.access_class
+        return AccessClass.NGRAPH
+
+
+@dataclass
+class Trace:
+    """A finalized column-wise memory trace.
+
+    Attributes
+    ----------
+    core:
+        Issuing core id per event.
+    addr:
+        Virtual byte address per event.
+    size:
+        Access size in bytes.
+    access_class:
+        :class:`AccessClass` value per event.
+    flags:
+        Bitwise OR of ``FLAG_WRITE``, ``FLAG_ATOMIC``, ``FLAG_SRC_READ``.
+    vertex:
+        Vertex id for vtxProp events, -1 otherwise.
+    """
+
+    core: np.ndarray
+    addr: np.ndarray
+    size: np.ndarray
+    access_class: np.ndarray
+    flags: np.ndarray
+    vertex: np.ndarray
+    #: Event indices at algorithm-iteration boundaries (source-buffer
+    #: invalidation points — Section V-C).
+    barriers: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of memory events."""
+        return len(self.addr)
+
+    def count(
+        self,
+        access_class: Optional[AccessClass] = None,
+        atomic: Optional[bool] = None,
+        write: Optional[bool] = None,
+    ) -> int:
+        """Count events matching the given filters."""
+        mask = np.ones(len(self.addr), dtype=bool)
+        if access_class is not None:
+            mask &= self.access_class == int(access_class)
+        if atomic is not None:
+            mask &= ((self.flags & FLAG_ATOMIC) != 0) == atomic
+        if write is not None:
+            mask &= ((self.flags & FLAG_WRITE) != 0) == write
+        return int(mask.sum())
+
+    def vtxprop_vertex_ids(self) -> np.ndarray:
+        """Vertex ids of all vtxProp events (the Fig 4b / Fig 5 input)."""
+        mask = self.access_class == int(AccessClass.VTXPROP)
+        return self.vertex[mask]
+
+    def interleaved(self) -> "Trace":
+        """Round-robin interleave events across cores (lockstep model).
+
+        The trace builder appends each core's work in contiguous
+        blocks, but on real hardware the cores run concurrently —
+        their accesses to shared hub lines contend. This reorders each
+        barrier-delimited segment so that cores' event streams advance
+        in lockstep (event i of every core before event i+1 of any),
+        which is what exposes the coherence ping-pong of core-executed
+        atomics on the baseline CMP. Per-core event order is preserved,
+        so per-core state (L1s, stream detectors, buffers) is
+        unaffected; only shared state sees the realistic interleaving.
+        """
+        n = len(self.addr)
+        if n == 0:
+            return self
+        perm = np.empty(n, dtype=np.int64)
+        bounds = [0] + [int(b) for b in self.barriers if 0 < b < n] + [n]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi <= lo:
+                continue
+            seg_core = self.core[lo:hi]
+            order = np.argsort(seg_core, kind="stable")
+            sorted_c = seg_core[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_c[1:] != sorted_c[:-1]]
+            )
+            sizes = np.diff(np.r_[starts, hi - lo])
+            group_start = np.repeat(starts, sizes)
+            rank = np.empty(hi - lo, dtype=np.int64)
+            rank[order] = np.arange(hi - lo) - group_start
+            perm[lo:hi] = lo + np.lexsort((seg_core, rank))
+        return Trace(
+            core=self.core[perm],
+            addr=self.addr[perm],
+            size=self.size[perm],
+            access_class=self.access_class[perm],
+            flags=self.flags[perm],
+            vertex=self.vertex[perm],
+            barriers=self.barriers.copy(),
+        )
+
+    def save(self, path) -> None:
+        """Persist the trace as a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            core=self.core,
+            addr=self.addr,
+            size=self.size,
+            access_class=self.access_class,
+            flags=self.flags,
+            vertex=self.vertex,
+            barriers=self.barriers,
+        )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(path) as data:
+            required = {
+                "core", "addr", "size", "access_class", "flags", "vertex"
+            }
+            missing = required - set(data.files)
+            if missing:
+                raise TraceError(
+                    f"{path} is not a trace archive; missing {sorted(missing)}"
+                )
+            return cls(
+                core=data["core"],
+                addr=data["addr"],
+                size=data["size"],
+                access_class=data["access_class"],
+                flags=data["flags"],
+                vertex=data["vertex"],
+                barriers=(
+                    data["barriers"]
+                    if "barriers" in data.files
+                    else np.zeros(0, dtype=np.int64)
+                ),
+            )
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Concatenate two traces (events of ``other`` follow ``self``)."""
+        return Trace(
+            core=np.concatenate([self.core, other.core]),
+            addr=np.concatenate([self.addr, other.addr]),
+            size=np.concatenate([self.size, other.size]),
+            access_class=np.concatenate([self.access_class, other.access_class]),
+            flags=np.concatenate([self.flags, other.flags]),
+            vertex=np.concatenate([self.vertex, other.vertex]),
+            barriers=np.concatenate(
+                [self.barriers, other.barriers + len(self.addr)]
+            ),
+        )
+
+
+def _as_full(x: Union[int, np.ndarray], n: int, dtype) -> np.ndarray:
+    if np.isscalar(x):
+        return np.full(n, x, dtype=dtype)
+    arr = np.asarray(x, dtype=dtype)
+    if len(arr) != n:
+        raise TraceError(f"batch column length {len(arr)} != {n}")
+    return arr
+
+
+@dataclass
+class TraceBuilder:
+    """Accumulates event batches and finalizes them into a :class:`Trace`.
+
+    ``enabled=False`` turns the builder into a cheap no-op so
+    algorithms can run functionally without paying trace costs.
+    """
+
+    enabled: bool = True
+    _chunks: List[Dict[str, np.ndarray]] = field(default_factory=list)
+    _barriers: List[int] = field(default_factory=list)
+
+    def append(
+        self,
+        core: Union[int, np.ndarray],
+        addr: np.ndarray,
+        size: Union[int, np.ndarray],
+        access_class: AccessClass,
+        write: bool = False,
+        atomic: bool = False,
+        src_read: bool = False,
+        update: bool = False,
+        vertex: Union[int, np.ndarray] = -1,
+    ) -> None:
+        """Append a homogeneous batch of events (vectorized)."""
+        if not self.enabled:
+            return
+        addr = np.asarray(addr, dtype=np.int64)
+        n = len(addr)
+        if n == 0:
+            return
+        flags = (
+            (FLAG_WRITE if write else 0)
+            | (FLAG_ATOMIC if atomic else 0)
+            | (FLAG_SRC_READ if src_read else 0)
+            | (FLAG_UPDATE if update else 0)
+        )
+        self._chunks.append(
+            {
+                "core": _as_full(core, n, np.int16),
+                "addr": addr,
+                "size": _as_full(size, n, np.int16),
+                "access_class": np.full(n, int(access_class), dtype=np.int8),
+                "flags": np.full(n, flags, dtype=np.int8),
+                "vertex": _as_full(vertex, n, np.int64),
+            }
+        )
+
+    @property
+    def num_events(self) -> int:
+        """Number of events appended so far."""
+        return sum(len(c["addr"]) for c in self._chunks)
+
+    def mark_barrier(self) -> None:
+        """Record an iteration boundary at the current event position."""
+        if self.enabled:
+            self._barriers.append(self.num_events)
+
+    def build(self) -> Trace:
+        """Finalize into a single columnar :class:`Trace`."""
+        barriers = np.asarray(sorted(set(self._barriers)), dtype=np.int64)
+        if not self._chunks:
+            empty64 = np.zeros(0, dtype=np.int64)
+            return Trace(
+                core=np.zeros(0, dtype=np.int16),
+                addr=empty64,
+                size=np.zeros(0, dtype=np.int16),
+                access_class=np.zeros(0, dtype=np.int8),
+                flags=np.zeros(0, dtype=np.int8),
+                vertex=empty64,
+                barriers=barriers,
+            )
+        return Trace(
+            core=np.concatenate([c["core"] for c in self._chunks]),
+            addr=np.concatenate([c["addr"] for c in self._chunks]),
+            size=np.concatenate([c["size"] for c in self._chunks]),
+            access_class=np.concatenate([c["access_class"] for c in self._chunks]),
+            flags=np.concatenate([c["flags"] for c in self._chunks]),
+            vertex=np.concatenate([c["vertex"] for c in self._chunks]),
+            barriers=barriers,
+        )

@@ -1,0 +1,57 @@
+"""Trace-driven memory-subsystem simulator.
+
+The gem5 substitute: set-associative caches with a MESI-style
+directory, a banked shared L2, a crossbar, DRAM bandwidth/latency
+accounting, OMEGA's scratchpads + PISC engines + source buffers, an
+analytic core timing model, and energy/area models.
+"""
+
+from repro.memsim.alternatives import (
+    LockedCacheHierarchy,
+    PimConfig,
+    PimHierarchy,
+)
+from repro.memsim.area import area_power_table
+from repro.memsim.cache import Cache
+from repro.memsim.coherence import Directory
+from repro.memsim.core_model import TimingResult, compute_timing
+from repro.memsim.dram import DramModel
+from repro.memsim.energy import EnergyBreakdown, EnergyModel
+from repro.memsim.hierarchy import BaselineHierarchy, OmegaHierarchy, ReplayOutput
+from repro.memsim.interconnect import Crossbar
+from repro.memsim.mapping import ScratchpadMapping
+from repro.memsim.pisc import MicroOp, Microcode, PiscEngine
+from repro.memsim.scratchpad import (
+    MonitorRegister,
+    ScratchpadController,
+    hot_capacity_for,
+)
+from repro.memsim.srcbuffer import SourceVertexBuffer
+from repro.memsim.stats import MemStats
+
+__all__ = [
+    "LockedCacheHierarchy",
+    "PimConfig",
+    "PimHierarchy",
+    "area_power_table",
+    "Cache",
+    "Directory",
+    "TimingResult",
+    "compute_timing",
+    "DramModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "BaselineHierarchy",
+    "OmegaHierarchy",
+    "ReplayOutput",
+    "Crossbar",
+    "ScratchpadMapping",
+    "MicroOp",
+    "Microcode",
+    "PiscEngine",
+    "MonitorRegister",
+    "ScratchpadController",
+    "hot_capacity_for",
+    "SourceVertexBuffer",
+    "MemStats",
+]

@@ -1,0 +1,73 @@
+"""Area and peak-power model (paper Table IV).
+
+Per-component peak power (W) and area (mm²) at 45 nm, taken directly
+from the paper's Table IV (McPAT cores, Cacti storage, synthesized
+PISC). The node-level arithmetic reproduces the paper's headline:
+OMEGA occupies slightly *less* area (−2.31%, scratchpads need no tag
+arrays) at slightly higher peak power (+0.65%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ComponentBudget", "node_budget", "BASELINE_COMPONENTS",
+           "OMEGA_COMPONENTS", "area_power_table"]
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """One Table IV row: a component's peak power and area."""
+
+    name: str
+    power_w: float
+    area_mm2: float
+
+
+#: Baseline CMP node, per Table IV (per-core figures).
+BASELINE_COMPONENTS: List[ComponentBudget] = [
+    ComponentBudget("Core", 3.11, 24.08),
+    ComponentBudget("L1 caches", 0.20, 0.42),
+    ComponentBudget("L2 cache", 2.86, 8.41),
+]
+
+#: OMEGA node, per Table IV (half-sized L2 + scratchpad + PISC).
+OMEGA_COMPONENTS: List[ComponentBudget] = [
+    ComponentBudget("Core", 3.11, 24.08),
+    ComponentBudget("L1 caches", 0.20, 0.42),
+    ComponentBudget("Scratchpad", 1.40, 3.17),
+    ComponentBudget("PISC", 0.004, 0.01),
+    ComponentBudget("L2 cache", 1.50, 4.47),
+]
+
+
+def node_budget(components: List[ComponentBudget]) -> ComponentBudget:
+    """Sum a component list into a node total."""
+    return ComponentBudget(
+        name="Node total",
+        power_w=sum(c.power_w for c in components),
+        area_mm2=sum(c.area_mm2 for c in components),
+    )
+
+
+def area_power_table() -> Dict[str, Dict[str, float]]:
+    """Reproduce Table IV plus the relative deltas the paper quotes."""
+    base = node_budget(BASELINE_COMPONENTS)
+    omega = node_budget(OMEGA_COMPONENTS)
+    return {
+        "baseline": {
+            **{c.name: c.power_w for c in BASELINE_COMPONENTS},
+            "node_power_w": base.power_w,
+            "node_area_mm2": base.area_mm2,
+        },
+        "omega": {
+            **{c.name: c.power_w for c in OMEGA_COMPONENTS},
+            "node_power_w": omega.power_w,
+            "node_area_mm2": omega.area_mm2,
+        },
+        "delta": {
+            "area_pct": 100.0 * (omega.area_mm2 - base.area_mm2) / base.area_mm2,
+            "power_pct": 100.0 * (omega.power_w - base.power_w) / base.power_w,
+        },
+    }

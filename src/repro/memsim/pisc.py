@@ -1,0 +1,137 @@
+"""PISC (Processing-In-SCratchpad) engine model (Section V-B, Fig 9).
+
+Each scratchpad is paired with a PISC: a microcoded ALU that executes
+the algorithm's atomic update in-situ. The engine holds
+
+- **microcode registers** storing the micro-op sequence for the
+  current algorithm's update function (written at application start by
+  the offload compiler's generated configuration code),
+- a simple **ALU** supporting the :class:`~repro.ligra.atomics.AtomicOp`
+  vocabulary (its fp adder dominates PISC area/power), and
+- a **sequencer** that interprets offload commands: read the vertex's
+  scratchpad line, run the ALU, write back, and update the active
+  list.
+
+The timing model charges each offloaded op the microcode's total
+cycle count as *occupancy* on that pad — offloads are fire-and-forget
+for the issuing core, so a pad can become the bottleneck only when
+its op stream exceeds the run length (tracked by the core model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import OffloadError
+from repro.ligra.atomics import AtomicOp
+
+__all__ = ["MicroOp", "Microcode", "PiscEngine", "MICRO_OP_CYCLES"]
+
+
+class MicroOp(enum.Enum):
+    """Micro-operations the PISC sequencer can issue."""
+
+    SP_READ = "sp_read"          # read the vertex's scratchpad line
+    ALU = "alu"                  # combine with the incoming operand
+    GUARD = "guard"              # conditional check (CAS-style ops)
+    SP_WRITE = "sp_write"        # write the result back
+    SET_ACTIVE_DENSE = "set_active_dense"    # set the in-line active bit
+    APPEND_ACTIVE_SPARSE = "append_active_sparse"  # push id via L1
+
+
+#: Per-micro-op cycle costs (scratchpad latency dominates).
+MICRO_OP_CYCLES: Dict[MicroOp, int] = {
+    MicroOp.SP_READ: 1,
+    MicroOp.ALU: 1,
+    MicroOp.GUARD: 1,
+    MicroOp.SP_WRITE: 1,
+    MicroOp.SET_ACTIVE_DENSE: 1,
+    MicroOp.APPEND_ACTIVE_SPARSE: 2,
+}
+
+
+@dataclass(frozen=True)
+class Microcode:
+    """A compiled update function: micro-op sequence plus its ALU op(s).
+
+    Compound updates (Radii's "or & signed min") carry one ALU micro-op
+    per operation; ``alu_op`` remains the primary op (the PISC's area
+    and energy driver) and ``extra_alu_ops`` the rest.
+    """
+
+    name: str
+    ops: Tuple[MicroOp, ...]
+    alu_op: AtomicOp
+    extra_alu_ops: Tuple[AtomicOp, ...] = ()
+
+    def __post_init__(self) -> None:
+        alu_steps = sum(1 for op in self.ops if op is MicroOp.ALU)
+        if alu_steps and self.alu_op is None:
+            raise OffloadError(f"microcode {self.name!r} uses ALU without an op")
+        if alu_steps != (1 + len(self.extra_alu_ops)) and alu_steps > 0:
+            raise OffloadError(
+                f"microcode {self.name!r} has {alu_steps} ALU steps for"
+                f" {1 + len(self.extra_alu_ops)} operations"
+            )
+        if not self.ops:
+            raise OffloadError(f"microcode {self.name!r} is empty")
+
+    @property
+    def alu_ops(self) -> Tuple[AtomicOp, ...]:
+        """All ALU operations, primary first."""
+        return (self.alu_op, *self.extra_alu_ops)
+
+    @property
+    def cycles(self) -> int:
+        """Total sequencer cycles per offloaded operation."""
+        return sum(MICRO_OP_CYCLES[op] for op in self.ops)
+
+
+class PiscEngine:
+    """One pad's PISC: executes offloaded atomic updates.
+
+    Tracks occupancy (busy cycles) and operation counts; the in-flight
+    blocking rule ("the scratchpad controller blocks all requests
+    issued to the same vertex" while an atomic is in progress) is
+    modeled as a serialization charge when consecutive ops hit the
+    same vertex.
+    """
+
+    def __init__(self, pad_id: int) -> None:
+        self.pad_id = pad_id
+        self._microcode: Optional[Microcode] = None
+        self.ops_executed = 0
+        self.busy_cycles = 0
+        self.conflict_cycles = 0
+        self._last_vertex = -1
+
+    def load_microcode(self, microcode: Microcode) -> None:
+        """Write the microcode registers (application-start config)."""
+        self._microcode = microcode
+
+    @property
+    def microcode(self) -> Optional[Microcode]:
+        """Currently loaded microcode."""
+        return self._microcode
+
+    def execute(self, vertex: int) -> int:
+        """Execute one offloaded atomic on ``vertex``; returns cycles.
+
+        Back-to-back operations on the same vertex serialize (the
+        controller's same-vertex blocking); distinct vertices pipeline
+        freely through the pad.
+        """
+        if self._microcode is None:
+            raise OffloadError(
+                f"PISC {self.pad_id} has no microcode loaded; run the"
+                " offload compiler's configuration step first"
+            )
+        cycles = self._microcode.cycles
+        self.ops_executed += 1
+        self.busy_cycles += cycles
+        if vertex == self._last_vertex:
+            self.conflict_cycles += cycles
+        self._last_vertex = vertex
+        return cycles

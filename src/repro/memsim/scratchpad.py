@@ -1,0 +1,131 @@
+"""Scratchpad and its controller (paper Section V-A, Figure 7).
+
+The controller is the piece of OMEGA that decides, for every memory
+request a core issues, whether it targets the scratchpads at all
+(**monitor unit**, driven by the per-vtxProp address-monitoring
+registers: ``start_addr`` / ``type_size`` / ``stride``), which pad owns
+the vertex (**partition unit**, via :class:`ScratchpadMapping`), and
+which line inside that pad holds it (**index unit**).
+
+The scratchpad itself is direct-mapped storage: one line per hot
+vertex, holding *all* of the vertex's vtxProp entries plus the dense
+active-list bit, so a PISC atomic touches exactly one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.ligra.props import VertexProp
+from repro.memsim.mapping import ScratchpadMapping
+
+__all__ = ["MonitorRegister", "ScratchpadController", "hot_capacity_for"]
+
+
+@dataclass(frozen=True)
+class MonitorRegister:
+    """One address-monitoring register set (Fig 7, left side)."""
+
+    name: str
+    start_addr: int
+    type_size: int
+    stride: int
+    num_entries: int
+
+    @property
+    def end_addr(self) -> int:
+        """One past the last monitored byte."""
+        return self.start_addr + self.num_entries * self.stride
+
+    def matches(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside this vtxProp's range."""
+        return self.start_addr <= addr < self.end_addr
+
+    def vertex_of(self, addr: int) -> int:
+        """Vertex id addressed (the index unit's translation)."""
+        return (addr - self.start_addr) // self.stride
+
+
+def hot_capacity_for(
+    sp_total_bytes: int,
+    vtxprop_bytes_per_vertex: int,
+    num_vertices: int,
+    active_bit_bytes: int = 1,
+) -> int:
+    """How many vertices the scratchpads can hold for this algorithm.
+
+    Each scratchpad line stores every vtxProp entry of one vertex plus
+    its active-list bit (modeled as one byte), so capacity is total
+    scratchpad bytes over the per-vertex line size, clamped to the
+    graph size.
+    """
+    line = vtxprop_bytes_per_vertex + active_bit_bytes
+    if line <= 0:
+        raise ConfigError(f"invalid per-vertex line size {line}")
+    return max(0, min(num_vertices, sp_total_bytes // line))
+
+
+class ScratchpadController:
+    """Routes requests between the cache hierarchy and the scratchpads.
+
+    Configured once per application launch (the paper's framework does
+    this via generated configuration code — Section V-F) with the
+    monitor registers for every vtxProp and the partition mapping.
+    """
+
+    def __init__(
+        self,
+        props: Sequence[VertexProp],
+        mapping: ScratchpadMapping,
+    ) -> None:
+        self.registers: List[MonitorRegister] = [
+            MonitorRegister(
+                name=p.name,
+                start_addr=p.start_addr,
+                type_size=p.type_size,
+                stride=p.stride,
+                num_entries=p.num_vertices,
+            )
+            for p in props
+        ]
+        self.mapping = mapping
+        # Sorted, disjoint (start, end, stride) ranges for fast lookup.
+        self._ranges: List[Tuple[int, int, int]] = sorted(
+            (r.start_addr, r.end_addr, r.stride) for r in self.registers
+        )
+
+    def monitor(self, addr: int) -> Optional[int]:
+        """Monitor unit: vertex id if ``addr`` is a monitored vtxProp
+        address, else ``None`` (request belongs to the regular caches)."""
+        for start, end, stride in self._ranges:
+            if start <= addr < end:
+                return (addr - start) // stride
+            if addr < start:
+                return None
+        return None
+
+    def route(self, vertex: int, requester_core: int) -> Optional[Tuple[int, int, bool]]:
+        """Partition + index units for a monitored request.
+
+        Returns ``(home_pad, line, is_local)`` for scratchpad-resident
+        vertices, or ``None`` when the vertex is beyond the hot range
+        (its vtxProp stays in the caches).
+        """
+        if not self.mapping.is_hot(vertex):
+            return None
+        home = self.mapping.home(vertex)
+        return home, self.mapping.line(vertex), home == requester_core
+
+    def describe_registers(self) -> List[dict]:
+        """Monitor-register contents as dicts (for reports and tests)."""
+        return [
+            {
+                "name": r.name,
+                "start_addr": r.start_addr,
+                "type_size": r.type_size,
+                "stride": r.stride,
+            }
+            for r in self.registers
+        ]

@@ -1,0 +1,142 @@
+"""Counters gathered during trace replay."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["MemStats"]
+
+
+@dataclass
+class MemStats:
+    """Event and byte counters for one simulated run.
+
+    Latency/stall sums are kept per core so the timing model can take
+    the slowest core as the barrier; everything else is chip-wide.
+    """
+
+    num_cores: int = 16
+
+    # Cache events
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    #: Misses whose latency was hidden by the stream prefetcher.
+    prefetch_hits: int = 0
+
+    # Scratchpad events
+    sp_local_accesses: int = 0
+    sp_remote_accesses: int = 0
+    #: Non-offload (plain read/write) scratchpad accesses — the subset
+    #: whose locality the Section V-D chunk matching governs.
+    sp_plain_local: int = 0
+    sp_plain_remote: int = 0
+    srcbuf_hits: int = 0
+    pisc_ops: int = 0
+
+    # Atomic accounting
+    atomics_total: int = 0
+    atomics_on_cores: int = 0
+    atomics_offloaded: int = 0
+
+    # Traffic (bytes)
+    onchip_line_bytes: int = 0
+    onchip_word_bytes: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    coherence_invalidations: int = 0
+
+    # Per-core cycle contributions
+    core_mem_latency: List[float] = field(default_factory=list)
+    core_serial_cycles: List[float] = field(default_factory=list)
+    core_accesses: List[int] = field(default_factory=list)
+    #: Per-scratchpad PISC occupancy (ops executed on each pad).
+    pisc_occupancy: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.core_mem_latency:
+            self.core_mem_latency = [0.0] * self.num_cores
+        if not self.core_serial_cycles:
+            self.core_serial_cycles = [0.0] * self.num_cores
+        if not self.core_accesses:
+            self.core_accesses = [0] * self.num_cores
+        if not self.pisc_occupancy:
+            self.pisc_occupancy = [0] * self.num_cores
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def l1_accesses(self) -> int:
+        """Total L1 lookups."""
+        return self.l1_hits + self.l1_misses
+
+    @property
+    def l2_accesses(self) -> int:
+        """Total L2 lookups."""
+        return self.l2_hits + self.l2_misses
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """L2 (last-level cache) hit rate in [0, 1]."""
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def sp_accesses(self) -> int:
+        """Total scratchpad accesses (local + remote + offloads)."""
+        return self.sp_local_accesses + self.sp_remote_accesses
+
+    @property
+    def sp_plain_accesses(self) -> int:
+        """Plain (non-offload) scratchpad accesses."""
+        return self.sp_plain_local + self.sp_plain_remote
+
+    @property
+    def sp_plain_remote_share(self) -> float:
+        """Remote fraction of plain scratchpad accesses (Section V-D)."""
+        total = self.sp_plain_accesses
+        return self.sp_plain_remote / total if total else 0.0
+
+    @property
+    def last_level_hit_rate(self) -> float:
+        """Combined last-level *storage* hit rate (paper Fig 15).
+
+        Scratchpad and source-buffer hits count as last-level hits;
+        the denominator is every access that got past the L1.
+        """
+        beyond_l1 = self.l2_accesses + self.sp_accesses + self.srcbuf_hits
+        hits = self.l2_hits + self.sp_accesses + self.srcbuf_hits
+        return hits / beyond_l1 if beyond_l1 else 0.0
+
+    @property
+    def onchip_traffic_bytes(self) -> int:
+        """All bytes moved across the crossbar (Fig 17 metric)."""
+        return self.onchip_line_bytes + self.onchip_word_bytes
+
+    @property
+    def dram_bytes(self) -> int:
+        """All bytes moved to/from DRAM."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the headline counters (for reports)."""
+        return {
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "l2_hit_rate": self.l2_hit_rate,
+            "last_level_hit_rate": self.last_level_hit_rate,
+            "sp_local": self.sp_local_accesses,
+            "sp_remote": self.sp_remote_accesses,
+            "srcbuf_hits": self.srcbuf_hits,
+            "pisc_ops": self.pisc_ops,
+            "atomics_total": self.atomics_total,
+            "atomics_on_cores": self.atomics_on_cores,
+            "atomics_offloaded": self.atomics_offloaded,
+            "onchip_traffic_bytes": self.onchip_traffic_bytes,
+            "dram_bytes": self.dram_bytes,
+            "coherence_invalidations": self.coherence_invalidations,
+        }

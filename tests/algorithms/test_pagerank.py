@@ -1,0 +1,76 @@
+"""Tests for PageRank over the engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.pagerank import pagerank_reference, run_pagerank
+from repro.ligra.trace import AccessClass
+
+
+class TestCorrectness:
+    def test_matches_reference_one_iteration(self, small_powerlaw):
+        result = run_pagerank(small_powerlaw, trace=False)
+        ref = pagerank_reference(small_powerlaw, iterations=1)
+        np.testing.assert_allclose(result.value("rank"), ref)
+
+    def test_matches_reference_multi_iteration(self, small_powerlaw):
+        result = run_pagerank(small_powerlaw, trace=False, max_iters=5)
+        ref = pagerank_reference(small_powerlaw, iterations=5)
+        np.testing.assert_allclose(result.value("rank"), ref)
+
+    def test_rank_sums_to_one_ish(self, small_powerlaw):
+        # With dangling vertices rank mass can leak below 1 but stays bounded.
+        result = run_pagerank(small_powerlaw, trace=False)
+        total = result.value("rank").sum()
+        assert 0.1 < total <= 1.0 + 1e-9
+
+    def test_hub_ranks_highest(self, tiny_graph):
+        result = run_pagerank(tiny_graph, trace=False)
+        assert int(result.value("rank").argmax()) == 2
+
+    def test_road_graph(self, small_road):
+        result = run_pagerank(small_road, trace=False)
+        ref = pagerank_reference(small_road, iterations=1)
+        np.testing.assert_allclose(result.value("rank"), ref)
+
+    def test_convergence_stops_early(self, small_ba_undirected):
+        result = run_pagerank(
+            small_ba_undirected, trace=False, max_iters=200, tolerance=1e-6
+        )
+        assert result.iterations < 200
+
+    def test_invalid_max_iters(self, tiny_graph):
+        with pytest.raises(SimulationError):
+            run_pagerank(tiny_graph, max_iters=0)
+
+
+class TestTrace:
+    def test_one_atomic_per_edge(self, tiny_graph):
+        result = run_pagerank(tiny_graph)
+        assert result.trace.count(atomic=True) == tiny_graph.num_edges
+
+    def test_vtxprop_single_prop(self, tiny_graph):
+        result = run_pagerank(tiny_graph)
+        # Table II: PageRank has one 8-byte vtxProp.
+        assert result.engine.vtxprop_bytes_per_vertex() == 8
+
+    def test_no_src_vtxprop_reads(self, tiny_graph):
+        """Table II: PageRank does not read the source's vtxProp — its
+        contribution array is cache-resident."""
+        tr = run_pagerank(tiny_graph).trace
+        from repro.ligra.trace import FLAG_SRC_READ
+
+        src_vtx = ((tr.flags & FLAG_SRC_READ) != 0) & (
+            tr.access_class == int(AccessClass.VTXPROP)
+        )
+        assert int(src_vtx.sum()) == 0
+
+    def test_trace_scales_with_iterations(self, tiny_graph):
+        one = run_pagerank(tiny_graph, max_iters=1).trace.num_events
+        two = run_pagerank(tiny_graph, max_iters=2).trace.num_events
+        assert two > 1.8 * one
+
+    def test_trace_disabled_is_empty(self, tiny_graph):
+        result = run_pagerank(tiny_graph, trace=False)
+        assert result.trace.num_events == 0

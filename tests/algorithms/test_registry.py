@@ -1,0 +1,89 @@
+"""Tests for the algorithm registry and Table II metadata."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.registry import ALGORITHMS, algorithm_names, run_algorithm
+from repro.ligra.atomics import AtomicOp
+
+
+class TestRegistryContents:
+    def test_eight_algorithms(self):
+        assert len(ALGORITHMS) == 8
+
+    def test_table2_order(self):
+        assert algorithm_names() == (
+            "pagerank", "bfs", "sssp", "bc", "radii", "cc", "tc", "kc"
+        )
+
+    def test_pagerank_row_matches_table2(self):
+        row = ALGORITHMS["pagerank"].as_row()
+        assert row["atomic operation type"] == "fp add"
+        assert row["vtxProp entry size"] == 8
+        assert row["#vtxProp"] == 1
+        assert row["active-list"] == "no"
+        assert row["read src vtx's vtxProp"] == "no"
+
+    def test_radii_row_matches_table2(self):
+        row = ALGORITHMS["radii"].as_row()
+        assert row["vtxProp entry size"] == 12
+        assert row["#vtxProp"] == 3
+        assert "or" in row["atomic operation type"]
+
+    def test_sssp_reads_src_and_uses_weights(self):
+        info = ALGORITHMS["sssp"]
+        assert info.reads_src_vtxprop
+        assert info.requires_weights
+        assert info.atomic_ops == (AtomicOp.SINT_MIN,)
+
+    def test_undirected_requirements(self):
+        for name in ("cc", "tc", "kc"):
+            assert ALGORITHMS[name].requires_undirected
+        for name in ("pagerank", "bfs", "sssp", "bc", "radii"):
+            assert not ALGORITHMS[name].requires_undirected
+
+    def test_qualitative_fractions_match_paper(self):
+        assert ALGORITHMS["pagerank"].pct_atomic == "high"
+        assert ALGORITHMS["bfs"].pct_atomic == "low"
+        assert ALGORITHMS["bc"].pct_atomic == "medium"
+        assert ALGORITHMS["tc"].pct_random == "low"
+
+
+class TestRunAlgorithm:
+    def test_unknown_name(self, small_powerlaw):
+        with pytest.raises(SimulationError, match="unknown algorithm"):
+            run_algorithm("dijkstra", small_powerlaw)
+
+    def test_directed_rejected_for_cc(self, small_powerlaw):
+        with pytest.raises(SimulationError, match="undirected"):
+            run_algorithm("cc", small_powerlaw)
+
+    def test_unweighted_rejected_for_sssp(self, small_powerlaw):
+        with pytest.raises(SimulationError, match="weights"):
+            run_algorithm("sssp", small_powerlaw)
+
+    def test_runs_pagerank(self, small_powerlaw):
+        res = run_algorithm("pagerank", small_powerlaw, trace=False)
+        assert res.name == "pagerank"
+
+    def test_kwargs_forwarded(self, small_powerlaw):
+        res = run_algorithm("bfs", small_powerlaw, trace=False, source=3)
+        assert res.value("level")[3] == 0
+
+    @pytest.mark.parametrize("name", algorithm_names())
+    def test_every_algorithm_runs(
+        self, name, small_powerlaw_weighted, small_ba_undirected
+    ):
+        info = ALGORITHMS[name]
+        graph = (
+            small_ba_undirected
+            if info.requires_undirected
+            else small_powerlaw_weighted
+        )
+        res = run_algorithm(name, graph, num_cores=4, trace=True)
+        assert res.trace.num_events > 0
+
+    def test_value_lookup_error(self, small_powerlaw):
+        res = run_algorithm("pagerank", small_powerlaw, trace=False)
+        with pytest.raises(SimulationError, match="no value"):
+            res.value("nonexistent")

@@ -1,0 +1,136 @@
+"""Tests for CC, TC and KC (undirected-graph algorithms)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.algorithms.cc import cc_reference, run_cc
+from repro.algorithms.kcore import coreness_reference, run_coreness, run_kcore
+from repro.algorithms.tc import run_tc, tc_reference
+from repro.graph.csr import from_edges
+
+
+class TestCc:
+    def test_matches_union_find(self, small_ba_undirected):
+        res = run_cc(small_ba_undirected, trace=False)
+        np.testing.assert_array_equal(
+            res.value("labels"), cc_reference(small_ba_undirected)
+        )
+
+    def test_component_count(self):
+        g = from_edges([(0, 1), (2, 3), (4, 4)], num_vertices=6, directed=False)
+        res = run_cc(g, trace=False)
+        # {0,1}, {2,3}, {4}, {5} -> 4 components
+        assert int(res.value("num_components")) == 4
+
+    def test_labels_are_min_member(self, tiny_undirected):
+        res = run_cc(tiny_undirected, trace=False)
+        labels = res.value("labels")
+        assert labels[0] == labels[1] == labels[2] == labels[3] == 0
+        assert labels[4] == labels[5] == 4
+
+    def test_rejects_directed(self, small_powerlaw):
+        with pytest.raises(SimulationError, match="undirected"):
+            run_cc(small_powerlaw)
+
+    def test_road_components(self, small_road):
+        res = run_cc(small_road, trace=False)
+        np.testing.assert_array_equal(
+            res.value("labels"), cc_reference(small_road)
+        )
+
+
+class TestTc:
+    def test_matches_bruteforce(self, small_ba_undirected):
+        res = run_tc(small_ba_undirected, trace=False)
+        assert int(res.value("total")) == tc_reference(small_ba_undirected)
+
+    def test_triangle_free_graph(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)], num_vertices=4, directed=False)
+        assert int(run_tc(g, trace=False).value("total")) == 0
+
+    def test_single_triangle(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)], num_vertices=3, directed=False)
+        res = run_tc(g, trace=False)
+        assert int(res.value("total")) == 1
+        np.testing.assert_array_equal(res.value("per_vertex"), [1, 1, 1])
+
+    def test_two_triangles_shared_edge(self, tiny_undirected):
+        res = run_tc(tiny_undirected, trace=False)
+        assert int(res.value("total")) == 2
+        # Vertices 1 and 2 are in both triangles.
+        assert res.value("per_vertex")[1] == 2
+        assert res.value("per_vertex")[2] == 2
+
+    def test_per_vertex_sums_to_3x_total(self, small_ba_undirected):
+        res = run_tc(small_ba_undirected, trace=False)
+        assert res.value("per_vertex").sum() == 3 * int(res.value("total"))
+
+    def test_rejects_directed(self, small_powerlaw):
+        with pytest.raises(SimulationError, match="undirected"):
+            run_tc(small_powerlaw)
+
+    def test_trace_dominated_by_edgelist(self, small_ba_undirected):
+        """TC is the paper's compute/scan-bound outlier."""
+        from repro.ligra.trace import AccessClass
+
+        tr = run_tc(small_ba_undirected).trace
+        edge = tr.count(access_class=AccessClass.EDGELIST)
+        vtx = tr.count(access_class=AccessClass.VTXPROP)
+        assert edge > vtx
+
+
+class TestKcore:
+    def test_matches_reference_membership(self, small_ba_undirected):
+        ref = coreness_reference(small_ba_undirected)
+        for k in (2, 3, 4):
+            res = run_kcore(small_ba_undirected, k=k, trace=False)
+            np.testing.assert_array_equal(res.value("in_core"), ref >= k)
+
+    def test_kcore_of_triangle(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (2, 3)], num_vertices=4,
+                       directed=False)
+        res = run_kcore(g, k=2, trace=False)
+        np.testing.assert_array_equal(
+            res.value("in_core"), [True, True, True, False]
+        )
+
+    def test_k_zero_keeps_everything(self, small_ba_undirected):
+        res = run_kcore(small_ba_undirected, k=0, trace=False)
+        assert res.value("in_core").all()
+
+    def test_huge_k_empties_graph(self, small_ba_undirected):
+        res = run_kcore(small_ba_undirected, k=10**6, trace=False)
+        assert not res.value("in_core").any()
+
+    def test_default_k_produces_work(self, small_ba_undirected):
+        res = run_kcore(small_ba_undirected, trace=False)
+        assert res.trace.num_events == 0  # trace disabled
+        assert res.iterations >= 1
+
+    def test_negative_k_rejected(self, small_ba_undirected):
+        with pytest.raises(SimulationError):
+            run_kcore(small_ba_undirected, k=-1)
+
+    def test_rejects_directed(self, small_powerlaw):
+        with pytest.raises(SimulationError):
+            run_kcore(small_powerlaw, k=2)
+
+
+class TestCoreness:
+    def test_matches_reference(self, small_ba_undirected):
+        res = run_coreness(small_ba_undirected, trace=False)
+        np.testing.assert_array_equal(
+            res.value("coreness"), coreness_reference(small_ba_undirected)
+        )
+
+    def test_path_graph_coreness_one(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=3, directed=False)
+        res = run_coreness(g, trace=False)
+        np.testing.assert_array_equal(res.value("coreness"), [1, 1, 1])
+
+    def test_clique_coreness(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = from_edges(edges, num_vertices=5, directed=False)
+        res = run_coreness(g, trace=False)
+        np.testing.assert_array_equal(res.value("coreness"), [4] * 5)

@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic graphs for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph, from_edges
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    road_graph,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> CSRGraph:
+    """A 6-vertex directed graph with known structure.
+
+    Edges: 0->1, 0->2, 1->2, 2->0, 3->2, 4->2, 5->2 (vertex 2 is the hub).
+    """
+    return from_edges(
+        [(0, 1), (0, 2), (1, 2), (2, 0), (3, 2), (4, 2), (5, 2)],
+        num_vertices=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_undirected() -> CSRGraph:
+    """A small undirected graph with two triangles sharing an edge."""
+    return from_edges(
+        [(0, 1), (1, 2), (2, 0), (1, 3), (2, 3), (4, 5)],
+        num_vertices=6,
+        directed=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw() -> CSRGraph:
+    """A ~512-vertex R-MAT graph (power-law, directed)."""
+    return rmat_graph(9, edge_factor=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw_weighted() -> CSRGraph:
+    """A weighted R-MAT graph for SSSP tests."""
+    return rmat_graph(8, edge_factor=6, seed=11, weighted=True)
+
+
+@pytest.fixture(scope="session")
+def small_ba_undirected() -> CSRGraph:
+    """A small undirected preferential-attachment graph (CC/TC/KC)."""
+    return barabasi_albert_graph(150, 3, seed=5, directed=False)
+
+
+@pytest.fixture(scope="session")
+def small_road() -> CSRGraph:
+    """A small road-network lattice (non-power-law control)."""
+    return road_graph(16, 16, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_er() -> CSRGraph:
+    """A small uniform random graph."""
+    return erdos_renyi_graph(200, 1200, seed=13)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for per-test randomness."""
+    return np.random.default_rng(12345)

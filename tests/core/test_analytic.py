@@ -1,0 +1,126 @@
+"""Tests for the high-level large-graph model (Fig 20 machinery)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.core.analytic import (
+    LARGE_GRAPHS,
+    LargeGraph,
+    WorkloadProfile,
+    calibrate_zipf_exponent,
+    estimate_cycles,
+    estimate_speedup,
+    zipf_coverage,
+)
+from repro.algorithms.pagerank import run_pagerank
+
+
+class TestZipf:
+    def test_coverage_monotone_in_fraction(self):
+        s = 0.8
+        vals = [zipf_coverage(f, s) for f in (0.01, 0.05, 0.2, 0.5, 1.0)]
+        assert vals == sorted(vals)
+        assert vals[-1] == 1.0
+
+    def test_coverage_grows_with_skew(self):
+        assert zipf_coverage(0.2, 0.9) > zipf_coverage(0.2, 0.3)
+
+    def test_zero_fraction(self):
+        assert zipf_coverage(0.0, 0.5) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            zipf_coverage(1.5, 0.5)
+        with pytest.raises(SimulationError):
+            zipf_coverage(0.2, 1.5)
+
+    def test_calibration_roundtrip(self):
+        s = calibrate_zipf_exponent(0.05, 0.47)
+        assert zipf_coverage(0.05, s) == pytest.approx(0.47)
+
+    def test_calibration_uniform_case(self):
+        s = calibrate_zipf_exponent(0.2, 0.1)
+        assert s == pytest.approx(0.0, abs=1e-3)
+
+    def test_calibration_validates(self):
+        with pytest.raises(SimulationError):
+            calibrate_zipf_exponent(0.0, 0.5)
+
+
+class TestLargeGraphRegistry:
+    def test_uk_and_twitter_present(self):
+        assert set(LARGE_GRAPHS) == {"uk", "twitter"}
+
+    def test_paper_coverage_points_encoded(self):
+        tw = LARGE_GRAPHS["twitter"]
+        # "5% of the most-connected vertices are responsible for 47% of
+        # the total vtxProp accesses" (paper Section X).
+        assert zipf_coverage(0.05, tw.zipf_s) == pytest.approx(0.47)
+
+
+@pytest.fixture(scope="module")
+def pagerank_profile(request):
+    import repro.graph.generators as gen
+
+    g = gen.rmat_graph(9, edge_factor=8, seed=21)
+    res = run_pagerank(g)
+    return WorkloadProfile.from_trace("pagerank", res.trace, g)
+
+
+class TestWorkloadProfile:
+    def test_measured_rates_sane(self, pagerank_profile):
+        p = pagerank_profile
+        assert p.vtxprop_atomic_per_edge == pytest.approx(1.0, rel=0.05)
+        assert p.edgelist_per_edge > 0.5
+        assert p.vtxprop_src_read_per_edge == pytest.approx(0.0, abs=0.05)
+
+    def test_empty_graph_guarded(self):
+        from repro.ligra.trace import TraceBuilder
+        from repro.graph.csr import from_edges
+
+        g = from_edges([(0, 1)], num_vertices=2)
+        profile = WorkloadProfile.from_trace("x", TraceBuilder().build(), g)
+        assert profile.vtxprop_atomic_per_edge == 0.0
+
+
+class TestEstimates:
+    def test_omega_beats_baseline_on_twitter(self, pagerank_profile):
+        speedup = estimate_speedup(LARGE_GRAPHS["twitter"], pagerank_profile)
+        # Fig 20: ~1.68x for PageRank on twitter.
+        assert 1.2 < speedup < 3.0
+
+    def test_omega_beats_baseline_on_uk(self, pagerank_profile):
+        speedup = estimate_speedup(LARGE_GRAPHS["uk"], pagerank_profile)
+        assert speedup > 1.2
+
+    def test_more_scratchpad_helps(self, pagerank_profile):
+        uk = LARGE_GRAPHS["uk"]
+        small = SimConfig.paper_omega().with_scratchpad_bytes(256 * 1024)
+        big = SimConfig.paper_omega()
+        c_small = estimate_cycles(uk, pagerank_profile, small, 8)
+        c_big = estimate_cycles(uk, pagerank_profile, big, 8)
+        assert c_big.cycles < c_small.cycles
+        assert c_big.sp_coverage > c_small.sp_coverage
+
+    def test_baseline_estimate_has_no_coverage(self, pagerank_profile):
+        res = estimate_cycles(
+            LARGE_GRAPHS["uk"], pagerank_profile, SimConfig.paper_baseline(), 8
+        )
+        assert res.sp_coverage == 0.0
+        assert res.hot_fraction == 0.0
+
+    def test_coverage_below_one_for_huge_graph(self, pagerank_profile):
+        res = estimate_cycles(
+            LARGE_GRAPHS["twitter"], pagerank_profile, SimConfig.paper_omega(), 8
+        )
+        # twitter's hot set overflows even 16 MB of scratchpads.
+        assert res.hot_fraction < 0.2
+        assert res.sp_coverage < 1.0
+
+    def test_skewed_graph_gains_more(self, pagerank_profile):
+        flat = LargeGraph("flat", 20_000_000, 300_000_000, 0.05, 0.4)
+        skewed = LargeGraph("skewed", 20_000_000, 300_000_000, 0.85, 0.4)
+        assert estimate_speedup(skewed, pagerank_profile) > estimate_speedup(
+            flat, pagerank_profile
+        )

@@ -1,0 +1,160 @@
+"""Tests for the offload compiler (source-to-source tool analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OffloadError
+from repro.core.offload import (
+    REG_DST_VERTEX,
+    REG_OPERAND,
+    UpdateSpec,
+    compile_update,
+    generate_config_code,
+    microcode_for_algorithm,
+    render_offload_stub,
+)
+from repro.ligra.atomics import AtomicOp
+from repro.ligra.props import alloc_prop
+from repro.ligra.trace import AddressSpace
+from repro.memsim.pisc import MicroOp
+
+
+class TestCompileUpdate:
+    def test_canonical_sequence(self):
+        mc = compile_update(UpdateSpec("u", AtomicOp.FP_ADD))
+        assert mc.ops == (MicroOp.SP_READ, MicroOp.ALU, MicroOp.SP_WRITE)
+
+    def test_guarded_adds_guard(self):
+        mc = compile_update(UpdateSpec("u", AtomicOp.UINT_CAS, guarded=True))
+        assert MicroOp.GUARD in mc.ops
+        assert mc.ops.index(MicroOp.GUARD) < mc.ops.index(MicroOp.ALU)
+
+    def test_dense_active_list(self):
+        mc = compile_update(
+            UpdateSpec("u", AtomicOp.OR, active_list="dense")
+        )
+        assert mc.ops[-1] is MicroOp.SET_ACTIVE_DENSE
+
+    def test_sparse_active_list(self):
+        mc = compile_update(
+            UpdateSpec("u", AtomicOp.SINT_MIN, active_list="sparse")
+        )
+        assert mc.ops[-1] is MicroOp.APPEND_ACTIVE_SPARSE
+
+    def test_bad_active_list(self):
+        with pytest.raises(OffloadError):
+            UpdateSpec("u", AtomicOp.FP_ADD, active_list="bitmap")
+
+    def test_cycles_positive(self):
+        mc = compile_update(UpdateSpec("u", AtomicOp.FP_ADD))
+        assert mc.cycles >= 3
+
+
+class TestAlgorithmMicrocode:
+    @pytest.mark.parametrize(
+        "name", ["pagerank", "bfs", "sssp", "bc", "radii", "cc", "tc", "kc"]
+    )
+    def test_every_algorithm_compiles(self, name):
+        mc = microcode_for_algorithm(name)
+        assert MicroOp.ALU in mc.ops
+
+    def test_pagerank_uses_fp_add(self):
+        assert microcode_for_algorithm("pagerank").alu_op is AtomicOp.FP_ADD
+
+    def test_sssp_is_guarded_min(self):
+        mc = microcode_for_algorithm("sssp")
+        assert mc.alu_op is AtomicOp.SINT_MIN
+        assert MicroOp.GUARD in mc.ops
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(OffloadError, match="no update spec"):
+            microcode_for_algorithm("apsp")
+
+
+class TestConfigCode:
+    def _props(self):
+        space = AddressSpace()
+        return [
+            alloc_prop(space, "next_pagerank", 100, np.float64),
+            alloc_prop(space, "active_bits", 100, np.uint8, type_size=1),
+        ]
+
+    def test_emits_all_monitor_registers(self):
+        props = self._props()
+        writes = generate_config_code(
+            props, microcode_for_algorithm("pagerank"), 100
+        )
+        comments = [w.comment for w in writes]
+        for prop in props:
+            assert f"{prop.name}.start_addr" in comments
+            assert f"{prop.name}.type_size" in comments
+            assert f"{prop.name}.stride" in comments
+
+    def test_emits_optype_and_vertex_count(self):
+        writes = generate_config_code(
+            self._props(), microcode_for_algorithm("pagerank"), 100
+        )
+        assert writes[0].register == 0  # optype
+        assert writes[1].value == 100  # num vertices
+
+    def test_emits_microcode_words(self):
+        mc = microcode_for_algorithm("sssp")
+        writes = generate_config_code(self._props(), mc, 100)
+        micro = [w for w in writes if w.comment.startswith("microcode")]
+        assert len(micro) == len(mc.ops)
+
+    def test_register_values_match_layout(self):
+        props = self._props()
+        writes = generate_config_code(
+            props, microcode_for_algorithm("pagerank"), 100
+        )
+        by_comment = {w.comment: w.value for w in writes}
+        assert by_comment["next_pagerank.start_addr"] == props[0].start_addr
+        assert by_comment["next_pagerank.type_size"] == 8
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(OffloadError):
+            generate_config_code([], microcode_for_algorithm("pagerank"), -1)
+
+    def test_render(self):
+        writes = generate_config_code(
+            self._props(), microcode_for_algorithm("pagerank"), 10
+        )
+        line = writes[0].render()
+        assert line.startswith("mmio_write(R0,")
+
+
+class TestOffloadStub:
+    def test_fig13_shape(self):
+        lines = render_offload_stub(
+            UpdateSpec("sssp_update", AtomicOp.SINT_MIN, guarded=True)
+        )
+        assert any(f"R{REG_OPERAND}" in line for line in lines)
+        assert any(f"R{REG_DST_VERTEX}" in line for line in lines)
+        assert any("sssp_update" in line for line in lines)
+
+
+class TestCompoundUpdates:
+    def test_radii_microcode_has_two_alu_steps(self):
+        mc = microcode_for_algorithm("radii")
+        assert mc.ops.count(MicroOp.ALU) == 2
+        assert mc.alu_ops == (AtomicOp.OR, AtomicOp.SINT_MIN)
+
+    def test_compound_costs_more_cycles(self):
+        simple = compile_update(UpdateSpec("u", AtomicOp.OR))
+        compound = compile_update(
+            UpdateSpec("u", AtomicOp.OR, extra_ops=(AtomicOp.SINT_MIN,))
+        )
+        assert compound.cycles == simple.cycles + 1
+
+    def test_single_op_alu_ops(self):
+        mc = compile_update(UpdateSpec("u", AtomicOp.FP_ADD))
+        assert mc.alu_ops == (AtomicOp.FP_ADD,)
+
+    def test_mismatched_alu_count_rejected(self):
+        from repro.errors import OffloadError
+        from repro.memsim.pisc import Microcode
+
+        with pytest.raises(OffloadError, match="ALU steps"):
+            Microcode("bad", (MicroOp.SP_READ, MicroOp.ALU, MicroOp.ALU,
+                              MicroOp.SP_WRITE), AtomicOp.OR)

@@ -1,0 +1,67 @@
+"""Tests for SimReport / Comparison reporting."""
+
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.system import compare_systems, run_system
+from repro.graph.generators import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def report():
+    g = rmat_graph(8, edge_factor=6, seed=5)
+    return run_system(g, "pagerank", SimConfig.scaled_baseline(num_cores=4),
+                      dataset="t")
+
+
+class TestSimReport:
+    def test_cycles_and_seconds(self, report):
+        assert report.cycles > 0
+        assert report.seconds == pytest.approx(
+            report.cycles / (report.config.core.freq_ghz * 1e9)
+        )
+
+    def test_dram_bandwidth_positive(self, report):
+        assert report.dram_bandwidth_gbps > 0
+
+    def test_to_dict_structure(self, report):
+        d = report.to_dict()
+        assert set(d) == {"summary", "workload", "stats", "timing",
+                          "energy_nj"}
+        assert d["workload"]["num_vertices"] == report.num_vertices
+        assert d["timing"]["total_cycles"] == report.timing.total_cycles
+
+    def test_save_json_roundtrip(self, report, tmp_path):
+        path = tmp_path / "r.json"
+        report.save_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["summary"]["algorithm"] == "pagerank"
+        assert loaded["stats"]["atomics_total"] == (
+            report.stats.atomics_total
+        )
+
+    def test_memory_bound_fraction_in_range(self, report):
+        assert 0.0 <= report.timing.memory_bound_fraction <= 1.0
+
+
+class TestComparisonReport:
+    @pytest.fixture(scope="class")
+    def cmp(self):
+        g = rmat_graph(8, edge_factor=6, seed=5)
+        return compare_systems(
+            g, "pagerank",
+            SimConfig.scaled_baseline(num_cores=4),
+            SimConfig.scaled_omega(num_cores=4),
+            dataset="t",
+        )
+
+    def test_all_ratios_finite_positive(self, cmp):
+        for value in (cmp.speedup, cmp.traffic_reduction,
+                      cmp.dram_bw_improvement, cmp.energy_saving):
+            assert value > 0
+            assert value != float("inf")
+
+    def test_summary_round_trips_to_json(self, cmp):
+        assert json.loads(json.dumps(cmp.summary()))["dataset"] == "t"

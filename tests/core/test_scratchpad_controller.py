@@ -1,0 +1,111 @@
+"""Tests for the scratchpad controller (monitor/partition/index units)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ligra.props import alloc_prop, alloc_struct_props
+from repro.ligra.trace import AddressSpace
+from repro.memsim.mapping import ScratchpadMapping
+from repro.memsim.scratchpad import (
+    MonitorRegister,
+    ScratchpadController,
+    hot_capacity_for,
+)
+
+
+@pytest.fixture()
+def controller():
+    space = AddressSpace()
+    props = [
+        alloc_prop(space, "rank", 100, np.float64),
+        alloc_prop(space, "bits", 100, np.uint8, type_size=1),
+    ]
+    mapping = ScratchpadMapping(num_cores=4, hot_capacity=40, chunk_size=4)
+    return ScratchpadController(props, mapping), props
+
+
+class TestMonitorUnit:
+    def test_matches_registered_range(self, controller):
+        ctrl, props = controller
+        rank = props[0]
+        assert ctrl.monitor(rank.addr_one(0)) == 0
+        assert ctrl.monitor(rank.addr_one(7)) == 7
+
+    def test_second_prop_matches(self, controller):
+        ctrl, props = controller
+        bits = props[1]
+        assert ctrl.monitor(bits.addr_one(99)) == 99
+
+    def test_unregistered_address_ignored(self, controller):
+        ctrl, props = controller
+        assert ctrl.monitor(0x10) is None
+        assert ctrl.monitor(props[1].region.end + 4096) is None
+
+    def test_mid_entry_address_resolves(self, controller):
+        ctrl, props = controller
+        # An address inside an 8-byte entry maps to that vertex.
+        assert ctrl.monitor(props[0].addr_one(3) + 4) == 3
+
+    def test_struct_stride_respected(self):
+        space = AddressSpace()
+        props = alloc_struct_props(
+            space, "node", 50, [("len", np.int32), ("vis", np.int32)]
+        )
+        ctrl = ScratchpadController(props, ScratchpadMapping(2, 50))
+        vis = props[1]
+        assert ctrl.monitor(vis.addr_one(10)) == 10
+
+
+class TestMonitorRegister:
+    def test_register_fields(self):
+        r = MonitorRegister("x", start_addr=0x1000, type_size=8, stride=8,
+                            num_entries=10)
+        assert r.end_addr == 0x1000 + 80
+        assert r.matches(0x1000)
+        assert not r.matches(0x1000 + 80)
+        assert r.vertex_of(0x1000 + 16) == 2
+
+
+class TestPartitionAndIndex:
+    def test_route_hot_vertex(self, controller):
+        ctrl, _ = controller
+        route = ctrl.route(5, requester_core=0)
+        assert route is not None
+        home, line, local = route
+        assert home == ctrl.mapping.home(5)
+        assert line == ctrl.mapping.line(5)
+
+    def test_route_local_flag(self, controller):
+        ctrl, _ = controller
+        v = 0  # chunk 0 -> pad 0
+        _, _, local = ctrl.route(v, requester_core=0)
+        assert local
+        _, _, remote = ctrl.route(v, requester_core=1)
+        assert not remote
+
+    def test_route_cold_vertex(self, controller):
+        ctrl, _ = controller
+        assert ctrl.route(40, requester_core=0) is None
+
+    def test_describe_registers(self, controller):
+        ctrl, props = controller
+        desc = ctrl.describe_registers()
+        assert {d["name"] for d in desc} == {"rank", "bits"}
+        assert all("start_addr" in d for d in desc)
+
+
+class TestHotCapacity:
+    def test_basic(self):
+        # 90 bytes / (8+1) per vertex = 10 vertices.
+        assert hot_capacity_for(90, 8, 1000) == 10
+
+    def test_clamped_to_graph(self):
+        assert hot_capacity_for(10**6, 8, 50) == 50
+
+    def test_zero_storage(self):
+        assert hot_capacity_for(0, 8, 100) == 0
+
+    def test_invalid_line(self):
+        with pytest.raises(ConfigError):
+            hot_capacity_for(100, -2, 100)

@@ -1,0 +1,207 @@
+"""Tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph, from_edges
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = CSRGraph(0, [], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_vertices_without_edges(self):
+        g = CSRGraph(5, [], [])
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.out_degree(4) == 0
+
+    def test_simple_directed(self, tiny_graph):
+        assert tiny_graph.num_vertices == 6
+        assert tiny_graph.num_edges == 7
+        assert tiny_graph.directed
+
+    def test_num_input_edges_directed(self, tiny_graph):
+        assert tiny_graph.num_input_edges == 7
+
+    def test_undirected_doubles_arcs(self):
+        g = CSRGraph(3, [0, 1], [1, 2], directed=False)
+        assert g.num_edges == 4
+        assert g.num_input_edges == 2
+
+    def test_undirected_self_loop_not_doubled(self):
+        g = CSRGraph(2, [0, 0], [0, 1], directed=False)
+        # self-loop stored once, the 0-1 edge twice
+        assert g.num_edges == 3
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError, match="endpoints"):
+            CSRGraph(3, [0, -1], [1, 2])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(GraphError, match="endpoints"):
+            CSRGraph(3, [0, 1], [1, 3])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphError, match="equal length"):
+            CSRGraph(3, [0, 1], [1])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(GraphError, match="weights"):
+            CSRGraph(3, [0, 1], [1, 2], weights=[1.0])
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(-1, [], [])
+
+    def test_edges_with_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(0, [0], [0])
+
+    def test_2d_arrays_rejected(self):
+        with pytest.raises(GraphError, match="one-dimensional"):
+            CSRGraph(3, [[0, 1]], [[1, 2]])
+
+
+class TestDegrees:
+    def test_out_degrees(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 2
+        assert tiny_graph.out_degree(2) == 1
+        assert tiny_graph.out_degree(5) == 1
+
+    def test_in_degrees_hub(self, tiny_graph):
+        assert tiny_graph.in_degree(2) == 5
+        assert tiny_graph.in_degree(1) == 1
+        assert tiny_graph.in_degree(3) == 0
+
+    def test_degree_vectors_sum_to_edges(self, small_powerlaw):
+        g = small_powerlaw
+        assert int(g.out_degrees().sum()) == g.num_edges
+        assert int(g.in_degrees().sum()) == g.num_edges
+
+    def test_degree_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.out_degree(6)
+        with pytest.raises(GraphError):
+            tiny_graph.in_degree(-1)
+
+
+class TestNeighbors:
+    def test_out_neighbors_sorted_by_construction(self, tiny_graph):
+        assert sorted(tiny_graph.out_neighbors(0).tolist()) == [1, 2]
+
+    def test_in_neighbors_of_hub(self, tiny_graph):
+        assert sorted(tiny_graph.in_neighbors(2).tolist()) == [0, 1, 3, 4, 5]
+
+    def test_edge_ranges_consistent(self, small_powerlaw):
+        g = small_powerlaw
+        for v in (0, 1, g.num_vertices - 1):
+            lo, hi = g.out_edge_range(v)
+            assert hi - lo == g.out_degree(v)
+            np.testing.assert_array_equal(
+                g.out_targets[lo:hi], g.out_neighbors(v)
+            )
+
+    def test_in_edge_range(self, tiny_graph):
+        lo, hi = tiny_graph.in_edge_range(2)
+        assert hi - lo == 5
+
+
+class TestEdgeIteration:
+    def test_edges_iterator_matches_arrays(self, tiny_graph):
+        pairs = list(tiny_graph.edges())
+        src, dst = tiny_graph.edge_arrays()
+        assert pairs == list(zip(src.tolist(), dst.tolist()))
+
+    def test_edge_arrays_roundtrip(self, small_powerlaw):
+        src, dst = small_powerlaw.edge_arrays()
+        g2 = CSRGraph(small_powerlaw.num_vertices, src, dst)
+        assert g2.num_edges == small_powerlaw.num_edges
+        np.testing.assert_array_equal(
+            g2.out_degrees(), small_powerlaw.out_degrees()
+        )
+
+
+class TestWeights:
+    def test_weights_follow_edges(self):
+        g = CSRGraph(3, [2, 0, 1], [0, 1, 2], weights=[30.0, 10.0, 20.0])
+        # After sorting by src, vertex 0's edge has weight 10.
+        lo, hi = g.out_edge_range(0)
+        assert g.out_weights[lo] == 10.0
+
+    def test_in_weights_aligned(self):
+        g = CSRGraph(3, [0, 1], [2, 2], weights=[5.0, 7.0])
+        lo, hi = g.in_edge_range(2)
+        in_w = sorted(g.in_weights[lo:hi].tolist())
+        assert in_w == [5.0, 7.0]
+
+    def test_unweighted_has_none(self, tiny_graph):
+        assert tiny_graph.out_weights is None
+        assert not tiny_graph.weighted
+
+
+class TestRelabel:
+    def test_identity_relabel(self, tiny_graph):
+        g = tiny_graph.relabel(np.arange(6))
+        np.testing.assert_array_equal(g.out_degrees(), tiny_graph.out_degrees())
+
+    def test_swap_relabel_moves_degrees(self, tiny_graph):
+        ids = np.array([2, 1, 0, 3, 4, 5])  # swap 0 <-> 2
+        g = tiny_graph.relabel(ids)
+        assert g.in_degree(0) == tiny_graph.in_degree(2)
+        assert g.in_degree(2) == tiny_graph.in_degree(0)
+
+    def test_relabel_preserves_edge_count(self, small_powerlaw, rng):
+        perm = rng.permutation(small_powerlaw.num_vertices)
+        g = small_powerlaw.relabel(perm)
+        assert g.num_edges == small_powerlaw.num_edges
+
+    def test_relabel_non_bijection_rejected(self, tiny_graph):
+        with pytest.raises(GraphError, match="bijection"):
+            tiny_graph.relabel([0, 0, 1, 2, 3, 4])
+
+    def test_relabel_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(GraphError, match="length"):
+            tiny_graph.relabel([0, 1, 2])
+
+    def test_relabel_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.relabel([0, 1, 2, 3, 4, 6])
+
+    def test_relabel_undirected_keeps_symmetry(self, tiny_undirected, rng):
+        perm = rng.permutation(tiny_undirected.num_vertices)
+        g = tiny_undirected.relabel(perm)
+        assert not g.directed
+        np.testing.assert_array_equal(g.out_degrees(), g.in_degrees())
+
+
+class TestAsUndirected:
+    def test_directed_becomes_symmetric(self, tiny_graph):
+        g = tiny_graph.as_undirected()
+        assert not g.directed
+        np.testing.assert_array_equal(g.out_degrees(), g.in_degrees())
+
+    def test_already_undirected_is_identity(self, tiny_undirected):
+        assert tiny_undirected.as_undirected() is tiny_undirected
+
+    def test_dedupes_reciprocal_arcs(self):
+        g = CSRGraph(2, [0, 1], [1, 0]).as_undirected()
+        # one undirected edge -> two arcs
+        assert g.num_edges == 2
+
+
+class TestFromEdges:
+    def test_infers_num_vertices(self):
+        g = from_edges([(0, 3), (1, 2)])
+        assert g.num_vertices == 4
+
+    def test_explicit_num_vertices(self):
+        g = from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_empty_iterable(self):
+        g = from_edges([])
+        assert g.num_vertices == 0

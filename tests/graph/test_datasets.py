@@ -1,0 +1,87 @@
+"""Tests for the Table I dataset stand-in registry."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset
+from repro.graph.degree import characterize
+
+
+class TestRegistry:
+    def test_all_twelve_present(self):
+        assert len(DATASETS) == 12
+
+    def test_table1_order(self):
+        assert dataset_names()[:3] == ("sd", "ap", "rmat")
+        assert dataset_names()[-3:] == ("rPA", "rCA", "USA")
+
+    def test_power_law_filter(self):
+        pl = dataset_names(power_law=True)
+        npl = dataset_names(power_law=False)
+        assert set(npl) == {"rPA", "rCA", "USA"}
+        assert len(pl) + len(npl) == 12
+
+    def test_road_specs_undirected(self):
+        for name in ("rPA", "rCA", "USA"):
+            assert not DATASETS[name].directed
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["twitter"].paper_edges_m == 1468
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError, match="scale"):
+            load_dataset("lj", scale=0)
+
+    def test_deterministic(self):
+        a, _ = load_dataset("sd", scale=0.5)
+        b, _ = load_dataset("sd", scale=0.5)
+        assert a.num_edges == b.num_edges
+
+    def test_seed_override_changes_graph(self):
+        a, _ = load_dataset("sd", scale=0.5)
+        b, _ = load_dataset("sd", scale=0.5, seed=99)
+        assert a.in_degrees().tolist() != b.in_degrees().tolist()
+
+    def test_scale_shrinks(self):
+        big, _ = load_dataset("lj", scale=0.5)
+        small, _ = load_dataset("lj", scale=0.25)
+        assert small.num_vertices < big.num_vertices
+
+    def test_weighted(self):
+        g, _ = load_dataset("sd", scale=0.25, weighted=True)
+        assert g.weighted
+
+    @pytest.mark.parametrize("name", ["sd", "rmat", "lj", "wiki"])
+    def test_power_law_standins_are_power_law(self, name):
+        g, spec = load_dataset(name, scale=0.5)
+        ch = characterize(g, name)
+        assert ch.power_law, f"{name} lost its power-law structure"
+
+    @pytest.mark.parametrize("name", ["rPA", "rCA"])
+    def test_road_standins_are_not_power_law(self, name):
+        g, _ = load_dataset(name, scale=1.0)
+        assert not characterize(g, name).power_law
+
+    def test_directedness_matches_spec(self):
+        for name in ("lj", "ap", "rCA"):
+            g, spec = load_dataset(name, scale=0.25)
+            assert g.directed == spec.directed
+
+    def test_connectivity_tracks_paper_ordering(self):
+        """More-skewed paper datasets should produce more-skewed stand-ins."""
+        ic, _ = load_dataset("ic", scale=0.25)
+        orkut, _ = load_dataset("orkut", scale=0.25)
+        ic_con = characterize(ic).in_degree_connectivity
+        orkut_con = characterize(orkut).in_degree_connectivity
+        assert ic_con > orkut_con
+
+    def test_relative_sizes_preserved(self):
+        lj, _ = load_dataset("lj", scale=0.25)
+        uk, _ = load_dataset("uk", scale=0.25)
+        assert uk.num_vertices > 2 * lj.num_vertices

@@ -1,0 +1,124 @@
+"""Tests for the dynamic-graph substrate (Section IX)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import from_edges
+from repro.graph.dynamic import (
+    DynamicGraph,
+    hot_set,
+    hot_set_overlap,
+    preferential_edges,
+    uniform_edges,
+)
+
+
+class TestDynamicGraph:
+    def test_snapshot_roundtrip(self, small_powerlaw):
+        dyn = DynamicGraph(small_powerlaw)
+        snap = dyn.snapshot()
+        assert snap.num_edges == small_powerlaw.num_edges
+        np.testing.assert_array_equal(
+            snap.in_degrees(), small_powerlaw.in_degrees()
+        )
+
+    def test_undirected_roundtrip(self, tiny_undirected):
+        dyn = DynamicGraph(tiny_undirected)
+        snap = dyn.snapshot()
+        assert not snap.directed
+        assert snap.num_edges == tiny_undirected.num_edges
+
+    def test_add_edges(self, tiny_graph):
+        dyn = DynamicGraph(tiny_graph)
+        dyn.add_edges([0, 1], [3, 4])
+        snap = dyn.snapshot()
+        assert snap.num_edges == tiny_graph.num_edges + 2
+        assert dyn.edges_added == 2
+
+    def test_add_vertices(self, tiny_graph):
+        dyn = DynamicGraph(tiny_graph)
+        first = dyn.add_vertices(2)
+        assert first == 6
+        dyn.add_edges([0], [7])
+        assert dyn.snapshot().num_vertices == 8
+
+    def test_add_out_of_range_rejected(self, tiny_graph):
+        dyn = DynamicGraph(tiny_graph)
+        with pytest.raises(GraphError, match="out of range"):
+            dyn.add_edges([0], [99])
+
+    def test_add_mismatched_lengths(self, tiny_graph):
+        dyn = DynamicGraph(tiny_graph)
+        with pytest.raises(GraphError):
+            dyn.add_edges([0, 1], [2])
+
+    def test_weightedness_must_match(self, tiny_graph):
+        dyn = DynamicGraph(tiny_graph)
+        with pytest.raises(GraphError, match="weighted"):
+            dyn.add_edges([0], [1], weights=[2.5])
+
+    def test_remove_edges(self, tiny_graph):
+        dyn = DynamicGraph(tiny_graph)
+        removed = dyn.remove_edges([0, 3], [1, 2])
+        assert removed == 2
+        snap = dyn.snapshot()
+        assert snap.num_edges == tiny_graph.num_edges - 2
+        assert 1 not in snap.out_neighbors(0)
+
+    def test_remove_nonexistent_is_noop(self, tiny_graph):
+        dyn = DynamicGraph(tiny_graph)
+        assert dyn.remove_edges([5], [0]) == 0
+
+    def test_remove_one_of_parallel_arcs(self):
+        g = from_edges([(0, 1), (0, 1)], num_vertices=2)
+        dyn = DynamicGraph(g)
+        assert dyn.remove_edges([0], [1]) == 1
+        assert dyn.snapshot().num_edges == 1
+
+    def test_negative_vertex_count(self, tiny_graph):
+        with pytest.raises(GraphError):
+            DynamicGraph(tiny_graph).add_vertices(-1)
+
+
+class TestHotSet:
+    def test_hot_set_size(self, small_powerlaw):
+        hs = hot_set(small_powerlaw, fraction=0.2)
+        assert len(hs) == int(np.ceil(0.2 * small_powerlaw.num_vertices))
+
+    def test_hot_set_contains_max(self, small_powerlaw):
+        hs = hot_set(small_powerlaw)
+        assert int(small_powerlaw.in_degrees().argmax()) in hs.tolist()
+
+    def test_overlap_identity(self, small_powerlaw):
+        assert hot_set_overlap(small_powerlaw, small_powerlaw) == 1.0
+
+    def test_overlap_empty_graph(self):
+        g = from_edges([], num_vertices=0)
+        assert hot_set_overlap(g, g) == 1.0
+
+    def test_preferential_growth_keeps_hot_set(self, small_powerlaw):
+        dyn = DynamicGraph(small_powerlaw)
+        src, dst = preferential_edges(small_powerlaw,
+                                      small_powerlaw.num_edges // 2, seed=1)
+        dyn.add_edges(src, dst)
+        overlap = hot_set_overlap(small_powerlaw, dyn.snapshot())
+        assert overlap > 0.8
+
+    def test_uniform_churn_erodes_more(self, small_powerlaw):
+        m = small_powerlaw.num_edges * 2
+        pref = DynamicGraph(small_powerlaw)
+        s, d = preferential_edges(small_powerlaw, m, seed=1)
+        pref.add_edges(s, d)
+        unif = DynamicGraph(small_powerlaw)
+        s, d = uniform_edges(small_powerlaw, m, seed=1)
+        unif.add_edges(s, d)
+        assert hot_set_overlap(
+            small_powerlaw, pref.snapshot()
+        ) >= hot_set_overlap(small_powerlaw, unif.snapshot())
+
+    def test_generators_validate(self, small_powerlaw):
+        with pytest.raises(GraphError):
+            preferential_edges(small_powerlaw, -1)
+        with pytest.raises(GraphError):
+            uniform_edges(small_powerlaw, -1)

@@ -1,0 +1,172 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.degree import top_fraction_connectivity
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    rmat_graph,
+    road_graph,
+)
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        g = rmat_graph(7, edge_factor=4, seed=1)
+        assert g.num_vertices == 128
+
+    def test_edge_count(self):
+        g = rmat_graph(6, edge_factor=5, seed=1)
+        assert g.num_edges == 5 * 64
+
+    def test_deterministic_with_seed(self):
+        a = rmat_graph(7, edge_factor=4, seed=42)
+        b = rmat_graph(7, edge_factor=4, seed=42)
+        np.testing.assert_array_equal(a.out_targets, b.out_targets)
+
+    def test_different_seeds_differ(self):
+        a = rmat_graph(7, edge_factor=4, seed=1)
+        b = rmat_graph(7, edge_factor=4, seed=2)
+        assert not np.array_equal(a.out_targets, b.out_targets)
+
+    def test_skewed_parameters_give_power_law(self):
+        g = rmat_graph(10, edge_factor=8, a=0.57, seed=3)
+        assert top_fraction_connectivity(g.in_degrees()) > 60.0
+
+    def test_uniform_parameters_give_flat_graph(self):
+        g = rmat_graph(10, edge_factor=8, a=0.25, b=0.25, c=0.25, seed=3)
+        assert top_fraction_connectivity(g.in_degrees()) < 45.0
+
+    def test_weighted(self):
+        g = rmat_graph(6, edge_factor=4, seed=1, weighted=True)
+        assert g.weighted
+        assert g.out_weights.min() >= 1
+        assert g.out_weights.max() < 64
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            rmat_graph(-1)
+
+    def test_invalid_edge_factor(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, edge_factor=0)
+
+    def test_invalid_quadrants(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, a=0.8, b=0.2, c=0.2)
+
+    def test_scale_zero(self):
+        g = rmat_graph(0, edge_factor=3, seed=1)
+        assert g.num_vertices == 1
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        g = barabasi_albert_graph(100, 4, seed=1)
+        assert g.num_vertices == 100
+        # m seed edges plus m per subsequent vertex
+        assert g.num_input_edges == (100 - 5) * 4 + 4
+
+    def test_deterministic(self):
+        a = barabasi_albert_graph(80, 3, seed=9)
+        b = barabasi_albert_graph(80, 3, seed=9)
+        np.testing.assert_array_equal(a.out_targets, b.out_targets)
+
+    def test_undirected_symmetric(self):
+        g = barabasi_albert_graph(80, 3, seed=9, directed=False)
+        np.testing.assert_array_equal(g.out_degrees(), g.in_degrees())
+
+    def test_skew_grows_with_hubward_fraction(self):
+        lo = barabasi_albert_graph(500, 4, seed=2, hubward_fraction=0.5)
+        hi = barabasi_albert_graph(500, 4, seed=2, hubward_fraction=1.0)
+        assert top_fraction_connectivity(
+            hi.in_degrees()
+        ) > top_fraction_connectivity(lo.in_degrees())
+
+    def test_no_parallel_edges_from_one_vertex(self):
+        g = barabasi_albert_graph(60, 3, seed=4, directed=False)
+        for v in range(g.num_vertices):
+            nbrs = g.out_neighbors(v).tolist()
+            assert len(nbrs) == len(set(nbrs))
+
+    def test_rejects_m_zero(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0)
+
+    def test_rejects_too_few_vertices(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 3)
+
+    def test_rejects_bad_hubward_fraction(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 2, hubward_fraction=1.5)
+
+    def test_weighted(self):
+        g = barabasi_albert_graph(50, 2, seed=1, weighted=True)
+        assert g.weighted
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        g = erdos_renyi_graph(100, 500, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges == 500
+
+    def test_no_skew(self):
+        g = erdos_renyi_graph(1000, 8000, seed=2)
+        # Uniform graphs have connectivity close to the 20% mark.
+        assert top_fraction_connectivity(g.in_degrees()) < 40.0
+
+    def test_zero_edges(self):
+        g = erdos_renyi_graph(10, 0, seed=1)
+        assert g.num_edges == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(0, 5)
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, -1)
+
+
+class TestRoad:
+    def test_shape(self):
+        g = road_graph(10, 8, seed=1)
+        assert g.num_vertices == 80
+        assert not g.directed
+
+    def test_low_max_degree(self):
+        g = road_graph(20, 20, seed=1)
+        assert g.out_degrees().max() <= 10
+
+    def test_not_power_law(self):
+        g = road_graph(30, 30, seed=2)
+        assert top_fraction_connectivity(g.in_degrees()) < 45.0
+
+    def test_drop_fraction_reduces_edges(self):
+        dense = road_graph(20, 20, drop_fraction=0.0, seed=1)
+        sparse = road_graph(20, 20, drop_fraction=0.4, seed=1)
+        assert sparse.num_edges < dense.num_edges
+
+    def test_no_drop_no_shortcuts_is_exact_lattice(self):
+        g = road_graph(5, 4, drop_fraction=0.0, shortcut_fraction=0.0, seed=1)
+        # 4*(5-1) horizontal + 5*(4-1) vertical, stored both ways
+        assert g.num_input_edges == 4 * 4 + 5 * 3
+
+    def test_weighted(self):
+        g = road_graph(6, 6, seed=1, weighted=True)
+        assert g.weighted
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(GraphError):
+            road_graph(0, 5)
+
+    def test_rejects_bad_drop(self):
+        with pytest.raises(GraphError):
+            road_graph(5, 5, drop_fraction=1.0)
+
+    def test_rejects_bad_shortcut(self):
+        with pytest.raises(GraphError):
+            road_graph(5, 5, shortcut_fraction=-0.1)

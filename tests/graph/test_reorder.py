@@ -1,0 +1,151 @@
+"""Tests for the Section VI reordering algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import from_edges
+from repro.graph.reorder import (
+    apply_order,
+    reorder_by_degree,
+    reorder_nth_element,
+    reorder_slashburn,
+    reorder_top_fraction,
+    slashburn_order,
+)
+
+
+def _in_degrees_monotone(graph) -> bool:
+    deg = graph.in_degrees()
+    return bool(np.all(deg[:-1] >= deg[1:]))
+
+
+class TestApplyOrder:
+    def test_roundtrip_degrees(self, small_powerlaw, rng):
+        order = rng.permutation(small_powerlaw.num_vertices)
+        g, new_ids = apply_order(small_powerlaw, order)
+        # Vertex order[0] became id 0.
+        assert new_ids[order[0]] == 0
+        assert g.in_degree(0) == small_powerlaw.in_degree(int(order[0]))
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            apply_order(tiny_graph, np.arange(3))
+
+
+class TestFullSort:
+    def test_monotone_in_degree(self, small_powerlaw):
+        g, _ = reorder_by_degree(small_powerlaw, key="in")
+        assert _in_degrees_monotone(g)
+
+    def test_monotone_out_degree(self, small_powerlaw):
+        g, _ = reorder_by_degree(small_powerlaw, key="out")
+        deg = g.out_degrees()
+        assert bool(np.all(deg[:-1] >= deg[1:]))
+
+    def test_total_degree_key(self, small_powerlaw):
+        g, _ = reorder_by_degree(small_powerlaw, key="total")
+        deg = g.in_degrees() + g.out_degrees()
+        assert bool(np.all(deg[:-1] >= deg[1:]))
+
+    def test_unknown_key_rejected(self, small_powerlaw):
+        with pytest.raises(GraphError, match="unknown degree key"):
+            reorder_by_degree(small_powerlaw, key="banana")
+
+    def test_preserves_edge_count(self, small_powerlaw):
+        g, _ = reorder_by_degree(small_powerlaw)
+        assert g.num_edges == small_powerlaw.num_edges
+
+
+class TestTopFraction:
+    def test_hot_prefix_sorted(self, small_powerlaw):
+        g, _ = reorder_top_fraction(small_powerlaw, fraction=0.2)
+        n = g.num_vertices
+        k = int(np.ceil(0.2 * n))
+        head = g.in_degrees()[:k]
+        assert bool(np.all(head[:-1] >= head[1:]))
+
+    def test_hot_prefix_dominates_tail(self, small_powerlaw):
+        g, _ = reorder_top_fraction(small_powerlaw, fraction=0.2)
+        n = g.num_vertices
+        k = int(np.ceil(0.2 * n))
+        deg = g.in_degrees()
+        assert deg[:k].min() >= deg[k:].max()
+
+    def test_invalid_fraction(self, small_powerlaw):
+        with pytest.raises(GraphError):
+            reorder_top_fraction(small_powerlaw, fraction=0.0)
+
+
+class TestNthElement:
+    def test_partition_property(self, small_powerlaw):
+        g, _ = reorder_nth_element(small_powerlaw, fraction=0.2)
+        n = g.num_vertices
+        k = int(np.ceil(0.2 * n))
+        deg = g.in_degrees()
+        assert deg[:k].min() >= deg[k:].max()
+
+    def test_stable_within_sides(self):
+        # Degrees: v2 and v4 are hubs; others keep input order.
+        g = from_edges(
+            [(0, 2), (1, 2), (3, 2), (0, 4), (1, 4), (3, 4), (0, 1)],
+            num_vertices=5,
+        )
+        rg, new_ids = reorder_nth_element(g, fraction=0.4)
+        # Hot side: vertices 2 and 4 in input order.
+        assert new_ids[2] == 0 and new_ids[4] == 1
+        # Cold side keeps 0 < 1 < 3 order.
+        assert new_ids[0] < new_ids[1] < new_ids[3]
+
+    def test_empty_graph(self):
+        g = from_edges([], num_vertices=0)
+        rg, ids = reorder_nth_element(g)
+        assert rg.num_vertices == 0
+        assert len(ids) == 0
+
+    def test_road_locality_preserved(self, small_road):
+        """Cold-side neighbors keep small id deltas (the stable-partition
+        property the road graphs depend on)."""
+        rg, new_ids = reorder_nth_element(small_road, fraction=0.2)
+        n = small_road.num_vertices
+        k = int(np.ceil(0.2 * n))
+        src, dst = rg.edge_arrays()
+        cold = (src >= k) & (dst >= k)
+        deltas = np.abs(src[cold] - dst[cold])
+        # Lattice neighbors were at distance 1 or width (16); the holes
+        # punched by hot extraction shift things only slightly.
+        assert np.median(deltas) <= 2 * 16
+
+    def test_invalid_fraction(self, small_powerlaw):
+        with pytest.raises(GraphError):
+            reorder_nth_element(small_powerlaw, fraction=2.0)
+
+
+class TestSlashburn:
+    def test_order_is_permutation(self, small_ba_undirected):
+        order = slashburn_order(small_ba_undirected, k=2)
+        assert sorted(order.tolist()) == list(
+            range(small_ba_undirected.num_vertices)
+        )
+
+    def test_first_vertex_is_top_hub(self, small_ba_undirected):
+        order = slashburn_order(small_ba_undirected, k=1)
+        total = (
+            small_ba_undirected.in_degrees() + small_ba_undirected.out_degrees()
+        )
+        assert total[order[0]] == total.max()
+
+    def test_reorder_roundtrip(self, small_ba_undirected):
+        g, _ = reorder_slashburn(small_ba_undirected, k=2)
+        assert g.num_edges == small_ba_undirected.num_edges
+
+    def test_invalid_k(self, small_ba_undirected):
+        with pytest.raises(GraphError):
+            slashburn_order(small_ba_undirected, k=0)
+
+    def test_handles_disconnected_graph(self):
+        g = from_edges(
+            [(0, 1), (2, 3), (4, 5)], num_vertices=6, directed=False
+        )
+        order = slashburn_order(g, k=1)
+        assert sorted(order.tolist()) == list(range(6))

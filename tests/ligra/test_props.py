@@ -1,0 +1,107 @@
+"""Tests for vertex-property arrays and their memory layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.ligra.props import alloc_prop, alloc_struct_props
+from repro.ligra.trace import AccessClass, AddressSpace
+
+
+class TestAllocProp:
+    def test_basic_layout(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "rank", 10, np.float64)
+        assert p.type_size == 8
+        assert p.stride == 8
+        assert p.num_vertices == 10
+        assert p.start_addr == p.region.base
+
+    def test_addresses(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "rank", 10, np.float64)
+        np.testing.assert_array_equal(
+            p.addr(np.array([0, 3])), [p.start_addr, p.start_addr + 24]
+        )
+        assert p.addr_one(2) == p.start_addr + 16
+
+    def test_explicit_type_size(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "bit", 10, np.uint8, type_size=1)
+        assert p.type_size == 1
+        assert p.addr_one(5) == p.start_addr + 5
+
+    def test_fill_value(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "dist", 4, np.int32, fill=7)
+        assert p.values.tolist() == [7, 7, 7, 7]
+
+    def test_vertex_of_inverts_addr(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "x", 10, np.int64)
+        for v in (0, 4, 9):
+            assert p.vertex_of(p.addr_one(v)) == v
+
+    def test_vertex_of_out_of_region(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "x", 4, np.int64)
+        with pytest.raises(TraceError):
+            p.vertex_of(p.start_addr - 8)
+
+    def test_addr_one_out_of_range(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "x", 4, np.int64)
+        with pytest.raises(TraceError):
+            p.addr_one(4)
+
+    def test_region_is_vtxprop_class(self):
+        space = AddressSpace()
+        p = alloc_prop(space, "x", 4, np.int64)
+        assert p.region.access_class is AccessClass.VTXPROP
+
+    def test_bad_type_size(self):
+        space = AddressSpace()
+        with pytest.raises(TraceError):
+            alloc_prop(space, "x", 4, np.int64, type_size=-2)
+
+
+class TestStructProps:
+    def test_stride_is_struct_size(self):
+        space = AddressSpace()
+        props = alloc_struct_props(
+            space, "node", 8, [("len", np.int32), ("visited", np.int32)]
+        )
+        assert len(props) == 2
+        for p in props:
+            assert p.stride == 8
+            assert p.type_size == 4
+
+    def test_field_offsets(self):
+        space = AddressSpace()
+        a, b = alloc_struct_props(
+            space, "node", 8, [("len", np.int32), ("visited", np.int32)]
+        )
+        assert b.start_addr == a.start_addr + 4
+        # Consecutive entries of the same field are one struct apart.
+        assert a.addr_one(1) - a.addr_one(0) == 8
+
+    def test_mixed_field_sizes(self):
+        space = AddressSpace()
+        a, b = alloc_struct_props(
+            space, "node", 4, [("rank", np.float64), ("flag", np.uint8)]
+        )
+        assert a.stride == 9
+        assert b.start_addr == a.start_addr + 8
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(TraceError):
+            alloc_struct_props(AddressSpace(), "node", 4, [])
+
+    def test_fields_do_not_collide(self):
+        space = AddressSpace()
+        a, b = alloc_struct_props(
+            space, "node", 16, [("x", np.int32), ("y", np.int32)]
+        )
+        ax = set(a.addr(np.arange(16)).tolist())
+        bx = set(b.addr(np.arange(16)).tolist())
+        assert not ax & bx

@@ -1,0 +1,114 @@
+"""Tests for trace persistence and the GraphMat execution mode."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TraceError
+from repro.ligra.trace import AccessClass, FLAG_UPDATE, Trace, TraceBuilder
+from repro.algorithms.pagerank import pagerank_reference, run_pagerank
+
+
+class TestTraceSaveLoad:
+    def _trace(self):
+        tb = TraceBuilder()
+        tb.append(0, np.array([1, 2, 3]), 8, AccessClass.VTXPROP,
+                  write=True, atomic=True, vertex=np.array([0, 1, 2]))
+        tb.mark_barrier()
+        tb.append(1, np.array([4]), 4, AccessClass.EDGELIST)
+        return tb.build()
+
+    def test_roundtrip(self, tmp_path):
+        tr = self._trace()
+        path = tmp_path / "t.npz"
+        tr.save(path)
+        loaded = Trace.load(path)
+        np.testing.assert_array_equal(loaded.addr, tr.addr)
+        np.testing.assert_array_equal(loaded.flags, tr.flags)
+        np.testing.assert_array_equal(loaded.barriers, tr.barriers)
+
+    def test_roundtrip_preserves_replay(self, tmp_path, small_powerlaw):
+        from repro.config import SimConfig
+        from repro.memsim.hierarchy import BaselineHierarchy
+
+        tr = run_pagerank(small_powerlaw, num_cores=4).trace
+        path = tmp_path / "pr.npz"
+        tr.save(path)
+        loaded = Trace.load(path)
+        cfg = SimConfig.scaled_baseline(num_cores=4)
+        a = BaselineHierarchy(cfg).replay(tr)
+        b = BaselineHierarchy(cfg).replay(loaded)
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(TraceError, match="not a trace"):
+            Trace.load(path)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        tr = TraceBuilder().build()
+        path = tmp_path / "empty.npz"
+        tr.save(path)
+        assert Trace.load(path).num_events == 0
+
+
+class TestUpdateFlag:
+    def test_sparse_atomics_carry_update_flag(self, small_powerlaw):
+        tr = run_pagerank(small_powerlaw, num_cores=4).trace
+        atomics = (tr.flags & 2) != 0
+        assert ((tr.flags[atomics] & FLAG_UPDATE) != 0).all()
+
+    def test_graphmat_updates_not_atomic(self, small_powerlaw):
+        tr = run_pagerank(
+            small_powerlaw, num_cores=4, framework="graphmat"
+        ).trace
+        assert tr.count(atomic=True) == 0
+        updates = (tr.flags & FLAG_UPDATE) != 0
+        assert int(updates.sum()) > 0
+
+
+class TestGraphmatMode:
+    def test_matches_reference(self, small_powerlaw):
+        res = run_pagerank(small_powerlaw, trace=False, framework="graphmat")
+        np.testing.assert_allclose(
+            res.value("rank"), pagerank_reference(small_powerlaw, 1)
+        )
+
+    def test_matches_ligra_mode(self, small_powerlaw):
+        ligra = run_pagerank(small_powerlaw, trace=False)
+        graphmat = run_pagerank(small_powerlaw, trace=False,
+                                framework="graphmat")
+        np.testing.assert_allclose(
+            ligra.value("rank"), graphmat.value("rank")
+        )
+
+    def test_bad_framework_rejected(self, small_powerlaw):
+        with pytest.raises(SimulationError, match="framework"):
+            run_pagerank(small_powerlaw, framework="gunrock")
+
+    def test_local_updates_stay_on_owner_core(self, small_powerlaw):
+        """With matched chunks every owner-write is local, and a local
+        plain update is cheaper on the core than on the PISC."""
+        from repro.config import SimConfig
+        from repro.core.system import run_system
+
+        rep = run_system(
+            small_powerlaw, "pagerank", SimConfig.scaled_omega(num_cores=4),
+            framework="graphmat",
+        )
+        assert rep.stats.atomics_total == 0
+        assert rep.stats.pisc_ops == 0
+        assert rep.stats.sp_plain_local > 0
+
+    def test_remote_updates_offload_to_pisc(self, small_powerlaw):
+        """A mismatched mapping makes owner-writes remote; the PISC
+        absorbs them even though they are not atomic."""
+        from repro.config import SimConfig
+        from repro.core.system import run_system
+
+        rep = run_system(
+            small_powerlaw, "pagerank", SimConfig.scaled_omega(num_cores=4),
+            framework="graphmat", chunk_size=32, sp_chunk_size=1,
+        )
+        assert rep.stats.atomics_total == 0
+        assert rep.stats.pisc_ops > 0

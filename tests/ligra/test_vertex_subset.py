@@ -1,0 +1,135 @@
+"""Tests for sparse/dense vertex subsets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.ligra.vertex_subset import VertexSubset
+
+
+class TestConstruction:
+    def test_from_ids(self):
+        s = VertexSubset(10, ids=np.array([3, 1, 1, 7]))
+        assert len(s) == 3
+        assert s.to_sparse().tolist() == [1, 3, 7]
+
+    def test_from_dense(self):
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        s = VertexSubset(5, dense=mask)
+        assert s.to_sparse().tolist() == [2]
+
+    def test_requires_exactly_one_representation(self):
+        with pytest.raises(TraceError):
+            VertexSubset(5)
+        with pytest.raises(TraceError):
+            VertexSubset(5, ids=np.array([1]), dense=np.zeros(5, bool))
+
+    def test_out_of_range_ids(self):
+        with pytest.raises(TraceError):
+            VertexSubset(5, ids=np.array([5]))
+        with pytest.raises(TraceError):
+            VertexSubset(5, ids=np.array([-1]))
+
+    def test_wrong_dense_shape(self):
+        with pytest.raises(TraceError):
+            VertexSubset(5, dense=np.zeros(4, bool))
+
+    def test_dense_mask_copied(self):
+        mask = np.zeros(4, dtype=bool)
+        s = VertexSubset(4, dense=mask)
+        mask[0] = True
+        assert len(s) == 0
+
+
+class TestConstructors:
+    def test_empty(self):
+        s = VertexSubset.empty(8)
+        assert len(s) == 0
+        assert not s
+
+    def test_single(self):
+        s = VertexSubset.single(8, 3)
+        assert list(s) == [3]
+
+    def test_full(self):
+        s = VertexSubset.full(4)
+        assert len(s) == 4
+
+    def test_from_ids_iterable(self):
+        s = VertexSubset.from_ids(10, (9, 0, 9))
+        assert list(s) == [0, 9]
+
+
+class TestViews:
+    def test_roundtrip_sparse_dense(self):
+        s = VertexSubset(6, ids=np.array([0, 5]))
+        dense = s.to_dense()
+        assert dense.tolist() == [True, False, False, False, False, True]
+        s2 = VertexSubset(6, dense=dense)
+        assert s == s2
+
+    def test_contains(self):
+        s = VertexSubset(6, ids=np.array([2]))
+        assert 2 in s
+        assert 3 not in s
+
+    def test_iteration_sorted(self):
+        s = VertexSubset(10, ids=np.array([7, 1, 4]))
+        assert list(s) == [1, 4, 7]
+
+    def test_bool(self):
+        assert VertexSubset.single(3, 0)
+        assert not VertexSubset.empty(3)
+
+    def test_equality_and_hash(self):
+        a = VertexSubset(5, ids=np.array([1, 2]))
+        b = VertexSubset(5, dense=np.array([False, True, True, False, False]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_universe(self):
+        a = VertexSubset(5, ids=np.array([1]))
+        b = VertexSubset(6, ids=np.array([1]))
+        assert a != b
+
+
+class TestDirectionHeuristic:
+    def test_small_frontier_stays_sparse(self):
+        deg = np.full(100, 5)
+        s = VertexSubset(100, ids=np.array([0]))
+        assert not s.should_use_dense(deg, num_edges=500)
+
+    def test_large_frontier_goes_dense(self):
+        deg = np.full(100, 5)
+        s = VertexSubset.full(100)
+        assert s.should_use_dense(deg, num_edges=500)
+
+    def test_hub_frontier_goes_dense(self):
+        deg = np.ones(100, dtype=np.int64)
+        deg[0] = 99
+        s = VertexSubset(100, ids=np.array([0]))
+        assert s.should_use_dense(deg, num_edges=199)
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = VertexSubset(6, ids=np.array([0, 1]))
+        b = VertexSubset(6, ids=np.array([1, 2]))
+        assert list(a.union(b)) == [0, 1, 2]
+
+    def test_difference(self):
+        a = VertexSubset(6, ids=np.array([0, 1, 2]))
+        b = VertexSubset(6, ids=np.array([1]))
+        assert list(a.difference(b)) == [0, 2]
+
+    def test_intersection(self):
+        a = VertexSubset(6, ids=np.array([0, 1, 2]))
+        b = VertexSubset(6, ids=np.array([1, 5]))
+        assert list(a.intersection(b)) == [1]
+
+    def test_universe_mismatch(self):
+        a = VertexSubset(6, ids=np.array([0]))
+        b = VertexSubset(7, ids=np.array([0]))
+        with pytest.raises(TraceError):
+            a.union(b)

@@ -1,0 +1,247 @@
+"""Tests for coherence directory, DRAM, crossbar, mapping, buffers, PISC."""
+
+import pytest
+
+from repro.config import DramConfig, InterconnectConfig
+from repro.errors import ConfigError, OffloadError
+from repro.ligra.atomics import AtomicOp
+from repro.memsim.coherence import Directory
+from repro.memsim.dram import DramModel
+from repro.memsim.interconnect import Crossbar
+from repro.memsim.mapping import ScratchpadMapping
+from repro.memsim.pisc import MICRO_OP_CYCLES, MicroOp, Microcode, PiscEngine
+from repro.memsim.srcbuffer import SourceVertexBuffer
+
+
+class TestDirectory:
+    def test_first_read_no_action(self):
+        d = Directory(4)
+        assert d.on_read(1, 0) == (0, False)
+
+    def test_read_after_remote_write_forces_writeback(self):
+        d = Directory(4)
+        d.on_write(1, 0)
+        invals, wb = d.on_read(1, 2)
+        assert invals == 0
+        assert wb
+        assert d.writebacks == 1
+
+    def test_write_invalidates_sharers(self):
+        d = Directory(4)
+        d.on_read(1, 0)
+        d.on_read(1, 1)
+        d.on_read(1, 2)
+        mask, _ = d.on_write(1, 3)
+        assert mask == 0b0111
+        assert d.invalidations == 3
+
+    def test_write_by_sharer_excludes_self(self):
+        d = Directory(4)
+        d.on_read(1, 0)
+        d.on_read(1, 1)
+        mask, _ = d.on_write(1, 0)
+        assert mask == 0b0010
+
+    def test_repeat_write_same_core_free(self):
+        d = Directory(4)
+        d.on_write(1, 0)
+        mask, wb = d.on_write(1, 0)
+        assert mask == 0 and not wb
+
+    def test_alternating_writers_ping_pong(self):
+        d = Directory(2)
+        d.on_write(1, 0)
+        mask, wb = d.on_write(1, 1)
+        assert mask == 0b01 and wb
+
+    def test_eviction_clears_sharer(self):
+        d = Directory(4)
+        d.on_read(1, 0)
+        d.on_eviction(1, 0)
+        assert d.sharers(1) == 0
+
+    def test_eviction_of_owner_clears_modified(self):
+        d = Directory(4)
+        d.on_write(1, 0)
+        d.on_eviction(1, 0)
+        assert not d.is_modified(1)
+
+    def test_eviction_of_untracked_line(self):
+        Directory(4).on_eviction(99, 0)  # must not raise
+
+
+class TestDram:
+    def test_read_latency_and_accounting(self):
+        m = DramModel(DramConfig(latency_cycles=100))
+        assert m.read(64) == 100
+        assert m.read_bytes == 64
+        assert m.read_accesses == 1
+
+    def test_write_accounting(self):
+        m = DramModel(DramConfig())
+        m.write(64)
+        assert m.write_bytes == 64
+        assert m.total_bytes == 64
+
+    def test_bandwidth_bound(self):
+        m = DramModel(DramConfig(channels=4, bytes_per_cycle_per_channel=6.0))
+        m.read(2400)
+        assert m.min_cycles_for_bandwidth() == pytest.approx(100.0)
+
+    def test_utilization_gbps(self):
+        m = DramModel(DramConfig())
+        m.read(1000)
+        # 1000 bytes over 500 cycles at 2GHz = 4 GB/s.
+        assert m.utilization_gbps(500, 2.0) == pytest.approx(4.0)
+
+    def test_utilization_zero_cycles(self):
+        assert DramModel(DramConfig()).utilization_gbps(0, 2.0) == 0.0
+
+
+class TestCrossbar:
+    def test_line_transfer(self):
+        xb = Crossbar(InterconnectConfig(), 16)
+        lat = xb.line_transfer(64)
+        assert lat == 17
+        assert xb.line_bytes == 64 + 8
+
+    def test_word_transfer_caps_payload(self):
+        xb = Crossbar(InterconnectConfig(), 16)
+        xb.word_transfer(100)
+        assert xb.word_bytes == 8 + 8
+
+    def test_control_message(self):
+        xb = Crossbar(InterconnectConfig(), 16)
+        xb.control_message()
+        assert xb.control_bytes == 8
+
+    def test_total_and_bound(self):
+        xb = Crossbar(InterconnectConfig(bus_bytes=16), 4)
+        xb.line_transfer(64)
+        assert xb.total_bytes == 72
+        assert xb.min_cycles_for_bandwidth() == pytest.approx(72 / 64)
+
+
+class TestMapping:
+    def test_chunked_interleave(self):
+        m = ScratchpadMapping(num_cores=4, hot_capacity=32, chunk_size=2)
+        assert [m.home(v) for v in range(10)] == [0, 0, 1, 1, 2, 2, 3, 3, 0, 0]
+
+    def test_block_partition_default(self):
+        m = ScratchpadMapping(num_cores=4, hot_capacity=16)
+        assert m.chunk_size == 4
+        assert m.home(0) == 0
+        assert m.home(15) == 3
+
+    def test_line_indices_unique_per_pad(self):
+        m = ScratchpadMapping(num_cores=4, hot_capacity=64, chunk_size=4)
+        seen = {}
+        for v in range(64):
+            key = (m.home(v), m.line(v))
+            assert key not in seen, f"collision at {v} with {seen.get(key)}"
+            seen[key] = v
+
+    def test_is_hot(self):
+        m = ScratchpadMapping(num_cores=4, hot_capacity=10)
+        assert m.is_hot(0)
+        assert m.is_hot(9)
+        assert not m.is_hot(10)
+        assert not m.is_hot(-1)
+
+    def test_is_hot_many(self):
+        import numpy as np
+
+        m = ScratchpadMapping(num_cores=2, hot_capacity=3)
+        out = m.is_hot_many(np.array([0, 3, 2, -1]))
+        assert out.tolist() == [True, False, True, False]
+
+    def test_vertices_per_pad(self):
+        m = ScratchpadMapping(num_cores=4, hot_capacity=10, chunk_size=1)
+        assert m.vertices_per_pad() == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            ScratchpadMapping(0, 10)
+        with pytest.raises(ConfigError):
+            ScratchpadMapping(4, -1)
+        with pytest.raises(ConfigError):
+            ScratchpadMapping(4, 10, chunk_size=0)
+
+
+class TestSourceBuffer:
+    def test_miss_then_hit(self):
+        b = SourceVertexBuffer(4)
+        assert not b.lookup(100)
+        assert b.lookup(100)
+        assert b.hits == 1 and b.misses == 1
+
+    def test_lru_eviction(self):
+        b = SourceVertexBuffer(2)
+        b.lookup(1)
+        b.lookup(2)
+        b.lookup(1)  # refresh 1
+        b.lookup(3)  # evicts 2
+        assert b.lookup(1)
+        assert not b.lookup(2)
+
+    def test_invalidate_all(self):
+        b = SourceVertexBuffer(4)
+        b.lookup(1)
+        b.invalidate_all()
+        assert not b.lookup(1)
+        assert b.invalidations == 1
+
+    def test_hit_rate(self):
+        b = SourceVertexBuffer(4)
+        b.lookup(1)
+        b.lookup(1)
+        assert b.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            SourceVertexBuffer(0)
+
+    def test_len(self):
+        b = SourceVertexBuffer(4)
+        b.lookup(1)
+        b.lookup(2)
+        assert len(b) == 2
+
+
+class TestPisc:
+    def _microcode(self):
+        return Microcode(
+            "test",
+            (MicroOp.SP_READ, MicroOp.ALU, MicroOp.SP_WRITE),
+            AtomicOp.FP_ADD,
+        )
+
+    def test_cycles_sum_micro_ops(self):
+        assert self._microcode().cycles == sum(
+            MICRO_OP_CYCLES[op]
+            for op in (MicroOp.SP_READ, MicroOp.ALU, MicroOp.SP_WRITE)
+        )
+
+    def test_execute_requires_microcode(self):
+        with pytest.raises(OffloadError, match="no microcode"):
+            PiscEngine(0).execute(3)
+
+    def test_execute_accumulates_occupancy(self):
+        p = PiscEngine(0)
+        p.load_microcode(self._microcode())
+        c1 = p.execute(1)
+        c2 = p.execute(2)
+        assert p.ops_executed == 2
+        assert p.busy_cycles == c1 + c2
+
+    def test_same_vertex_conflict_tracked(self):
+        p = PiscEngine(0)
+        p.load_microcode(self._microcode())
+        p.execute(7)
+        p.execute(7)
+        p.execute(8)
+        assert p.conflict_cycles == self._microcode().cycles
+
+    def test_empty_microcode_rejected(self):
+        with pytest.raises(OffloadError):
+            Microcode("empty", (), AtomicOp.FP_ADD)

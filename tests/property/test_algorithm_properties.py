@@ -1,0 +1,101 @@
+"""Property-based tests: algorithm invariants on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.algorithms.bfs import bfs_reference_levels, run_bfs
+from repro.algorithms.cc import cc_reference, run_cc
+from repro.algorithms.pagerank import pagerank_reference, run_pagerank
+from repro.algorithms.sssp import INF, run_sssp
+
+
+@st.composite
+def random_graphs(draw, directed=True, weighted=False, max_n=25):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=4 * n))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    weights = (
+        draw(st.lists(st.integers(1, 20), min_size=m, max_size=m))
+        if weighted
+        else None
+    )
+    return CSRGraph(n, src, dst, weights=weights, directed=directed)
+
+
+class TestBfsProperties:
+    @given(random_graphs(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_levels_match_reference(self, g, data):
+        source = data.draw(st.integers(0, g.num_vertices - 1))
+        res = run_bfs(g, source=source, num_cores=2, trace=False)
+        np.testing.assert_array_equal(
+            res.value("level"), bfs_reference_levels(g, source)
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_of_levels(self, g):
+        """Levels of adjacent reachable vertices differ by at most 1
+        in the edge direction."""
+        res = run_bfs(g, source=0, num_cores=2, trace=False)
+        level = res.value("level")
+        for u, v in g.edges():
+            if level[u] >= 0:
+                assert level[v] != -1
+                assert level[v] <= level[u] + 1
+
+
+class TestSsspProperties:
+    @given(random_graphs(weighted=True), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_relaxation_invariant(self, g, data):
+        source = data.draw(st.integers(0, g.num_vertices - 1))
+        res = run_sssp(g, source=source, num_cores=2, trace=False)
+        dist = res.value("dist")
+        assert dist[source] == 0
+        for i, (u, v) in enumerate(g.edges()):
+            if dist[u] < INF:
+                lo, hi = g.out_edge_range(u)
+        # Relaxed: no edge can shorten any distance further.
+        src, dst = g.edge_arrays()
+        w = g.out_weights.astype(np.int64)
+        reachable = dist[src] < INF
+        assert (
+            dist[dst[reachable]] <= dist[src[reachable]] + w[reachable]
+        ).all()
+
+
+class TestPagerankProperties:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference(self, g):
+        res = run_pagerank(g, num_cores=2, trace=False)
+        np.testing.assert_allclose(
+            res.value("rank"), pagerank_reference(g, 1), rtol=1e-10
+        )
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_ranks_positive_and_bounded(self, g):
+        res = run_pagerank(g, num_cores=2, trace=False, max_iters=3)
+        rank = res.value("rank")
+        assert (rank > 0).all()
+        assert rank.sum() <= 1.0 + 1e-9
+
+
+class TestCcProperties:
+    @given(random_graphs(directed=False))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_union_find(self, g):
+        res = run_cc(g, num_cores=2, trace=False)
+        np.testing.assert_array_equal(res.value("labels"), cc_reference(g))
+
+    @given(random_graphs(directed=False))
+    @settings(max_examples=30, deadline=None)
+    def test_edges_within_components(self, g):
+        labels = run_cc(g, num_cores=2, trace=False).value("labels")
+        for u, v in g.edges():
+            assert labels[u] == labels[v]

@@ -1,0 +1,98 @@
+"""Property-based tests for atomic-op semantics (sequential equivalence)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ligra.atomics import AtomicOp, scatter_atomic
+
+
+@st.composite
+def scatter_cases(draw, value_strategy, dtype):
+    n = draw(st.integers(min_value=1, max_value=20))
+    m = draw(st.integers(min_value=0, max_value=50))
+    idx = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    ops = draw(st.lists(value_strategy, min_size=m, max_size=m))
+    init = draw(st.lists(value_strategy, min_size=n, max_size=n))
+    return (
+        np.array(init, dtype=dtype),
+        np.array(idx, dtype=np.int64),
+        np.array(ops, dtype=dtype),
+    )
+
+
+ints = st.integers(min_value=-1000, max_value=1000)
+uints = st.integers(min_value=0, max_value=1000)
+
+
+class TestSequentialEquivalence:
+    @given(scatter_cases(ints, np.int64))
+    @settings(max_examples=60, deadline=None)
+    def test_min_scatter(self, case):
+        arr, idx, ops = case
+        expected = arr.copy()
+        for i, o in zip(idx, ops):
+            expected[i] = min(expected[i], o)
+        scatter_atomic(AtomicOp.SINT_MIN, arr, idx, ops)
+        np.testing.assert_array_equal(arr, expected)
+
+    @given(scatter_cases(ints, np.int64))
+    @settings(max_examples=60, deadline=None)
+    def test_add_scatter(self, case):
+        arr, idx, ops = case
+        expected = arr.copy()
+        for i, o in zip(idx, ops):
+            expected[i] += o
+        scatter_atomic(AtomicOp.SINT_ADD, arr, idx, ops)
+        np.testing.assert_array_equal(arr, expected)
+
+    @given(scatter_cases(uints, np.uint32))
+    @settings(max_examples=60, deadline=None)
+    def test_or_scatter(self, case):
+        arr, idx, ops = case
+        expected = arr.copy()
+        for i, o in zip(idx, ops):
+            expected[i] |= o
+        scatter_atomic(AtomicOp.OR, arr, idx, ops)
+        np.testing.assert_array_equal(arr, expected)
+
+    @given(scatter_cases(uints, np.uint32))
+    @settings(max_examples=60, deadline=None)
+    def test_cas_first_writer_wins(self, case):
+        arr, idx, ops = case
+        sentinel = np.iinfo(np.uint32).max
+        arr[:] = sentinel
+        expected = arr.copy()
+        for i, o in zip(idx, ops):
+            if expected[i] == sentinel:
+                expected[i] = o
+        scatter_atomic(AtomicOp.UINT_CAS, arr, idx, ops)
+        np.testing.assert_array_equal(arr, expected)
+
+
+class TestChangedSet:
+    @given(scatter_cases(ints, np.int64))
+    @settings(max_examples=60, deadline=None)
+    def test_changed_iff_value_changed(self, case):
+        arr, idx, ops = case
+        before = arr.copy()
+        changed = scatter_atomic(AtomicOp.SINT_MIN, arr, idx, ops)
+        actually_changed = np.flatnonzero(arr != before)
+        np.testing.assert_array_equal(np.sort(changed), actually_changed)
+
+    @given(scatter_cases(ints, np.int64))
+    @settings(max_examples=60, deadline=None)
+    def test_changed_subset_of_indices(self, case):
+        arr, idx, ops = case
+        changed = scatter_atomic(AtomicOp.SINT_ADD, arr, idx, ops)
+        assert set(changed.tolist()) <= set(idx.tolist())
+
+    @given(scatter_cases(ints, np.int64))
+    @settings(max_examples=40, deadline=None)
+    def test_min_is_idempotent(self, case):
+        arr, idx, ops = case
+        scatter_atomic(AtomicOp.SINT_MIN, arr, idx, ops)
+        snapshot = arr.copy()
+        changed = scatter_atomic(AtomicOp.SINT_MIN, arr, idx, ops)
+        np.testing.assert_array_equal(arr, snapshot)
+        assert len(changed) == 0

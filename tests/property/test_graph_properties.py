@@ -1,0 +1,121 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.degree import top_fraction_connectivity
+from repro.graph.reorder import (
+    reorder_by_degree,
+    reorder_nth_element,
+    reorder_top_fraction,
+)
+from repro.graph.slicing import slice_graph
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return n, src, dst
+
+
+@st.composite
+def graphs(draw, directed=True):
+    n, src, dst = draw(edge_lists())
+    return CSRGraph(n, src, dst, directed=directed)
+
+
+class TestCsrInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_arcs(self, spec):
+        n, src, dst = spec
+        g = CSRGraph(n, src, dst)
+        assert int(g.out_degrees().sum()) == g.num_edges
+        assert int(g.in_degrees().sum()) == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_monotone(self, spec):
+        n, src, dst = spec
+        g = CSRGraph(n, src, dst)
+        assert (np.diff(g.out_offsets) >= 0).all()
+        assert (np.diff(g.in_offsets) >= 0).all()
+        assert g.out_offsets[0] == 0
+        assert g.out_offsets[-1] == g.num_edges
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_in_out_edge_multisets_match(self, spec):
+        n, src, dst = spec
+        g = CSRGraph(n, src, dst)
+        out_pairs = sorted(zip(*g.edge_arrays()))
+        in_pairs = sorted(
+            (int(s), v)
+            for v in range(n)
+            for s in g.in_neighbors(v)
+        )
+        assert out_pairs == in_pairs
+
+    @given(graphs(directed=False))
+    @settings(max_examples=40, deadline=None)
+    def test_undirected_symmetric_degrees(self, g):
+        np.testing.assert_array_equal(g.out_degrees(), g.in_degrees())
+
+
+class TestRelabelInvariants:
+    @given(edge_lists(), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_relabel_preserves_degree_multiset(self, spec, rnd):
+        n, src, dst = spec
+        g = CSRGraph(n, src, dst)
+        perm = list(range(n))
+        rnd.shuffle(perm)
+        g2 = g.relabel(np.array(perm))
+        assert sorted(g.in_degrees()) == sorted(g2.in_degrees())
+        assert sorted(g.out_degrees()) == sorted(g2.out_degrees())
+
+
+class TestReorderInvariants:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_full_sort_monotone(self, g):
+        rg, _ = reorder_by_degree(g, key="in")
+        deg = rg.in_degrees()
+        assert (deg[:-1] >= deg[1:]).all()
+
+    @given(graphs(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_nth_element_partition(self, g, fraction):
+        rg, _ = reorder_nth_element(g, fraction=fraction)
+        k = max(1, int(np.ceil(fraction * g.num_vertices)))
+        deg = rg.in_degrees()
+        if k < g.num_vertices:
+            assert deg[:k].min() >= deg[k:].max()
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_reorderings_preserve_connectivity_metric(self, g):
+        """Degree-based relabeling cannot change the degree multiset,
+        so top-20% connectivity is invariant."""
+        before = top_fraction_connectivity(g.in_degrees())
+        rg, _ = reorder_top_fraction(g)
+        after = top_fraction_connectivity(rg.in_degrees())
+        assert before == after
+
+
+class TestSlicingInvariants:
+    @given(graphs(), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_slices_partition_edges(self, g, per_slice):
+        slices = slice_graph(g, per_slice)
+        assert sum(s.graph.num_edges for s in slices) == g.num_edges
+        assert sum(s.num_owned_vertices for s in slices) == g.num_vertices

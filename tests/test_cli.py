@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "lj"])
+        assert args.algorithm == "pagerank"
+        assert args.system == "omega"
+        assert args.scale == 1.0
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "lj", "--system", "tpu"]
+            )
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "sd" in out and "twitter" in out and "USA" in out
+
+    def test_run_baseline(self, capsys):
+        code = main(["run", "--dataset", "sd", "--algorithm", "pagerank",
+                     "--system", "baseline", "--scale", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out
+        assert "baseline" in out
+
+    def test_run_omega(self, capsys):
+        code = main(["run", "--dataset", "sd", "--scale", "0.5"])
+        assert code == 0
+        assert "hot_fraction" in capsys.readouterr().out
+
+    def test_run_locked(self, capsys):
+        assert main(["run", "--dataset", "sd", "--system", "locked",
+                     "--scale", "0.5"]) == 0
+        assert "locked-cache" in capsys.readouterr().out
+
+    def test_run_graphpim(self, capsys):
+        assert main(["run", "--dataset", "sd", "--system", "graphpim",
+                     "--scale", "0.5"]) == 0
+        assert "graphpim" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--dataset", "sd", "--scale", "0.5"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--algorithms", "pagerank",
+                     "--datasets", "sd", "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_undirected_algorithm_symmetrizes(self, capsys):
+        assert main(["run", "--dataset", "sd", "--algorithm", "cc",
+                     "--scale", "0.5"]) == 0
+
+    def test_weighted_algorithm_gets_weights(self, capsys):
+        assert main(["run", "--dataset", "sd", "--algorithm", "sssp",
+                     "--scale", "0.5"]) == 0
+
+    def test_unknown_algorithm_errors(self, capsys):
+        assert main(["run", "--dataset", "sd", "--algorithm", "apsp"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_unknown_dataset_errors(self, capsys):
+        assert main(["run", "--dataset", "facebook"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    @pytest.mark.slow
+    def test_validate_passes(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["validate", "--scale", "0.25"])
+        out = capsys.readouterr().out
+        assert "criteria passed" in out
+        assert code == 0, out

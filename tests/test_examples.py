@@ -1,0 +1,40 @@
+"""Guard the runnable examples against bit-rot."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamplesCompile:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES}
+        assert "quickstart" in names
+        assert len(EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"),
+                           doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_has_main_guard_and_docstring(self, path):
+        text = path.read_text()
+        assert '__name__ == "__main__"' in text
+        assert text.lstrip().startswith(("#!/usr/bin/env python3", '"""'))
+
+
+@pytest.mark.slow
+class TestExamplesRun:
+    def test_quickstart_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup" in proc.stdout

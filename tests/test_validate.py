@@ -1,0 +1,52 @@
+"""Tests for the reproduction self-check."""
+
+import pytest
+
+from repro.validate import Criterion, format_validation, run_validation
+
+
+class TestCriterion:
+    def test_render_pass(self):
+        c = Criterion("x", True, 1.5, "> 1")
+        assert c.render().startswith("[PASS]")
+        assert "1.5" in c.render()
+
+    def test_render_fail(self):
+        c = Criterion("x", False, 0.5, "> 1")
+        assert c.render().startswith("[FAIL]")
+
+
+class TestFormat:
+    def test_counts_failures(self):
+        results = [
+            Criterion("a", True, 1, ""),
+            Criterion("b", False, 0, ""),
+        ]
+        out = format_validation(results)
+        assert "1/2 criteria passed" in out
+        assert "1 FAILED" in out
+
+    def test_all_pass_message(self):
+        out = format_validation([Criterion("a", True, 1, "")])
+        assert "1/1 criteria passed" in out
+        assert "FAILED" not in out
+
+
+@pytest.mark.slow
+class TestRunValidation:
+    def test_all_criteria_pass(self):
+        results = run_validation(scale=0.5)
+        failed = [c.name for c in results if not c.passed]
+        assert not failed, f"criteria failed: {failed}"
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        run_validation(scale=0.25, progress=seen.append)
+        assert seen
+
+    def test_criteria_cover_headline_claims(self):
+        results = run_validation(scale=0.25)
+        names = " ".join(c.name for c in results)
+        for keyword in ("speedup", "traffic", "hit rate", "memory-bound",
+                        "ablation", "road"):
+            assert keyword in names
