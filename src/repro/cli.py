@@ -46,6 +46,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="omega",
         help="memory-subsystem design to simulate",
     )
+    run.add_argument(
+        "--backend",
+        choices=("baseline", "omega", "locked", "graphpim", "dynamic"),
+        default=None,
+        help="replay-engine backend (overrides --system; adds the"
+             " dynamic-scratchpad variant)",
+    )
+    run.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="write the per-run JSON manifest to PATH",
+    )
 
     cmp = sub.add_parser("compare", help="baseline vs OMEGA on one workload")
     _workload_args(cmp)
@@ -120,25 +133,22 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.core.system import run_graphpim, run_locked_cache, run_system
+    from repro.core.system import run_system
 
     graph, spec = _load(args.dataset, args.algorithm, args.scale)
-    if args.system == "baseline":
-        report = run_system(
-            graph, args.algorithm,
-            SimConfig.scaled_baseline(num_cores=args.cores),
-            dataset=spec.name,
+    backend = args.backend or args.system
+    if backend in ("baseline", "graphpim"):
+        config = SimConfig.scaled_baseline(num_cores=args.cores)
+    elif backend == "locked":
+        config = SimConfig.scaled_omega(
+            num_cores=args.cores, use_pisc=False, use_source_buffer=False
         )
-    elif args.system == "omega":
-        report = run_system(
-            graph, args.algorithm,
-            SimConfig.scaled_omega(num_cores=args.cores),
-            dataset=spec.name,
-        )
-    elif args.system == "locked":
-        report = run_locked_cache(graph, args.algorithm, dataset=spec.name)
-    else:
-        report = run_graphpim(graph, args.algorithm, dataset=spec.name)
+    else:  # omega, dynamic
+        config = SimConfig.scaled_omega(num_cores=args.cores)
+    report = run_system(
+        graph, args.algorithm, config,
+        dataset=spec.name, backend=backend, manifest_path=args.manifest,
+    )
 
     for key, value in report.summary().items():
         print(f"{key}: {value}")

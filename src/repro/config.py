@@ -200,6 +200,25 @@ class SimConfig:
         """Aggregate scratchpad capacity across all cores."""
         return self.core.num_cores * self.scratchpad.size_bytes
 
+    def as_dict(self) -> dict:
+        """Nested plain-dict form of the full configuration."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    def config_hash(self) -> str:
+        """Stable short hash of every configuration parameter.
+
+        Two runs with the same hash simulated the same machine; the
+        hash goes into run manifests so result files are traceable to
+        their configuration without storing it wholesale.
+        """
+        import hashlib
+        import json
+
+        blob = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
     def with_scratchpad_bytes(self, per_core_bytes: int) -> "SimConfig":
         """Return a copy with a different scratchpad size (Fig 19 sweep).
 

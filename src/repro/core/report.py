@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.config import SimConfig
 from repro.errors import SimulationError
@@ -33,6 +33,10 @@ class SimReport:
     num_vertices: int = 0
     num_edges: int = 0
     trace_events: int = 0
+    #: Registered backend name the trace was replayed through.
+    backend: str = ""
+    #: Replay wall-clock time (host seconds, not simulated time).
+    replay_seconds: float = 0.0
 
     @property
     def cycles(self) -> float:
@@ -94,6 +98,65 @@ class SimReport:
 
         with open(path, "w") as f:
             json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+
+    def manifest(self) -> Dict:
+        """Per-run manifest: what ran, on what machine description.
+
+        A compact, stable record meant to sit next to result files
+        (see ``docs/trace-format.md`` for the schema): configuration
+        hash, workload identity, event counts, the timing/energy
+        breakdown, and the replay wall-time.
+        """
+        events = self.trace_events
+        return {
+            "schema": "omega-repro/run-manifest/v1",
+            "system": self.system,
+            "backend": self.backend,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "config": {
+                "name": self.config.name,
+                "hash": self.config.config_hash(),
+                "num_cores": self.config.core.num_cores,
+                "total_onchip_bytes": self.config.total_onchip_bytes,
+            },
+            "workload": {
+                "num_vertices": self.num_vertices,
+                "num_edges": self.num_edges,
+                "trace_events": events,
+                "hot_capacity": self.hot_capacity,
+                "hot_fraction": self.hot_fraction,
+            },
+            "replay": {
+                "seconds": self.replay_seconds,
+                "events_per_second": (
+                    events / self.replay_seconds
+                    if self.replay_seconds > 0 else 0.0
+                ),
+            },
+            "timing": {
+                "total_cycles": self.timing.total_cycles,
+                "bottleneck": self.timing.bottleneck,
+                "bounds": dict(self.timing.bounds),
+            },
+            "energy_nj": self.energy.as_dict(),
+            "event_counts": self.stats.as_dict(),
+        }
+
+    def save_manifest(self, path) -> None:
+        """Write :meth:`manifest` as pretty-printed JSON.
+
+        Parent directories are created on demand so ``--manifest
+        results/manifests/run.json`` works on a fresh checkout.
+        """
+        import json
+        import os
+
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(self.manifest(), f, indent=2, sort_keys=True)
 
 
 @dataclass(frozen=True)

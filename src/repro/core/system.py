@@ -1,7 +1,7 @@
 """Full-system drivers: run an algorithm on a graph through a hierarchy.
 
 This is the library's main entry point. :func:`run_system` executes one
-(algorithm, graph, configuration) triple end-to-end:
+(algorithm, graph, configuration, backend) tuple end-to-end:
 
 1. optionally reorder the graph by popularity (OMEGA's offline
    preprocessing, Section VI — nth-element in-degree by default),
@@ -11,16 +11,23 @@ This is the library's main entry point. :func:`run_system` executes one
    (Section V-A: one line holds all of a vertex's entries plus the
    active bit) and compile the algorithm's update function to PISC
    microcode (Section V-F),
-4. replay the trace through the baseline or OMEGA hierarchy, and
+4. replay the trace through the selected memory-hierarchy backend
+   (any name in :func:`repro.memsim.engine.backend_names`), and
 5. fold the counters into timing and energy.
 
-:func:`compare_systems` runs both systems on the same workload and
-returns the paper's headline ratios (speedup, traffic reduction, DRAM
-bandwidth improvement, energy saving).
+Every hierarchy variant — baseline CMP, OMEGA, the Section IX locked
+cache, GraphPIM, the dynamic scratchpad — runs through the same driver
+via ``run_system(..., backend=...)``; :func:`run_locked_cache` and
+:func:`run_graphpim` are thin aliases kept for compatibility.
+
+:func:`compare_systems` runs baseline and OMEGA on the same workload
+and returns the paper's headline ratios (speedup, traffic reduction,
+DRAM bandwidth improvement, energy saving).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.config import SimConfig
@@ -33,7 +40,14 @@ from repro.core.offload import microcode_for_algorithm
 from repro.core.report import Comparison, SimReport
 from repro.memsim.core_model import compute_timing
 from repro.memsim.energy import EnergyModel
-from repro.memsim.hierarchy import BaselineHierarchy, OmegaHierarchy
+from repro.memsim.engine import (
+    BaselineBackend,
+    DynamicScratchpadBackend,
+    GraphPimBackend,
+    LockedCacheBackend,
+    OmegaBackend,
+    get_backend,
+)
 from repro.memsim.mapping import ScratchpadMapping
 from repro.memsim.scratchpad import hot_capacity_for
 
@@ -48,6 +62,29 @@ __all__ = [
 #: Default OpenMP-schedule chunk (and matching scratchpad-mapping chunk).
 DEFAULT_CHUNK_SIZE = 32
 
+#: Report labels for backends whose name differs from the config name.
+_BACKEND_LABELS = {
+    "locked": "locked-cache",
+    "graphpim": "graphpim",
+    "dynamic": "dynamic-scratchpad",
+}
+
+#: Whether each backend's required preprocessing includes the offline
+#: popularity reordering (Section VI). GraphPIM and the dynamic
+#: scratchpad are explicitly "no preprocessing" designs; the baseline
+#: runs the paper's original ordering.
+_REORDER_DEFAULT = {
+    "baseline": False,
+    "omega": True,
+    "locked": True,
+    "graphpim": False,
+    "dynamic": False,
+}
+
+#: Backends whose on-chip hot-vertex structure must be sized from the
+#: algorithm's vtxProp footprint.
+_HOT_SET_BACKENDS = ("omega", "locked", "dynamic")
+
 
 def run_system(
     graph: CSRGraph,
@@ -58,6 +95,9 @@ def run_system(
     sp_chunk_size: Optional[int] = None,
     reorder: Optional[bool] = None,
     energy_model: Optional[EnergyModel] = None,
+    backend: Optional[str] = None,
+    pim=None,
+    manifest_path=None,
     **alg_kwargs,
 ) -> SimReport:
     """Run one algorithm on one graph through one system configuration.
@@ -69,7 +109,8 @@ def run_system(
     algorithm:
         Registered algorithm name (see :mod:`repro.algorithms.registry`).
     config:
-        System description; ``config.use_scratchpad`` selects the
+        System description. When ``backend`` is not given it is
+        inferred from the config: ``config.use_scratchpad`` selects the
         OMEGA hierarchy, otherwise the baseline CMP.
     dataset:
         Label recorded in the report.
@@ -80,19 +121,35 @@ def run_system(
         matched configuration of Section V-D). Pass a different value
         to reproduce the mismatch experiment.
     reorder:
-        Apply nth-element in-degree reordering before running. Default:
-        ``True`` for OMEGA (its required preprocessing), ``False`` for
-        the baseline (the paper's baseline runs the original ordering).
+        Apply nth-element in-degree reordering before running.
+        Defaults per backend: ``True`` for OMEGA and the locked cache
+        (their required preprocessing), ``False`` for the baseline,
+        GraphPIM and the dynamic scratchpad (which run the original
+        ordering).
     energy_model:
         Energy constants; defaults to :class:`EnergyModel`.
+    backend:
+        Registered hierarchy-backend name (``baseline``, ``omega``,
+        ``locked``, ``graphpim``, ``dynamic``, or any extension
+        registered via
+        :func:`repro.memsim.engine.register_backend`).
+    pim:
+        Optional :class:`~repro.memsim.engine.PimConfig` for the
+        ``graphpim`` backend.
+    manifest_path:
+        When given, write the run manifest
+        (:meth:`~repro.core.report.SimReport.manifest`) as JSON there.
     alg_kwargs:
         Extra arguments for the algorithm runner (source vertex, etc.).
     """
-    is_omega = config.use_scratchpad
+    backend_name = backend or (
+        "omega" if config.use_scratchpad else "baseline"
+    )
+    backend_cls = get_backend(backend_name)  # validates the name
     if reorder is None:
-        reorder = is_omega
+        reorder = _REORDER_DEFAULT.get(backend_name, config.use_scratchpad)
     # Pin traversal roots to a *logical* vertex before any relabeling,
-    # so baseline and OMEGA runs traverse the same workload.
+    # so runs with and without reordering traverse the same workload.
     if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
         alg_kwargs["source"] = default_source(graph)
     work_graph = graph
@@ -117,33 +174,57 @@ def run_system(
     ]
 
     hot_capacity = 0
-    if is_omega:
-        bytes_per_vertex = result.engine.vtxprop_bytes_per_vertex()
+    mapping = None
+    if backend_name in _HOT_SET_BACKENDS:
+        sp_bytes = config.scratchpad_total_bytes
+        if backend_name == "locked" and not sp_bytes:
+            # The locked region repurposes half the on-chip storage,
+            # exactly like OMEGA's scratchpads.
+            sp_bytes = config.total_onchip_bytes // 2
         hot_capacity = hot_capacity_for(
-            config.scratchpad_total_bytes,
-            bytes_per_vertex,
+            sp_bytes,
+            result.engine.vtxprop_bytes_per_vertex(),
             work_graph.num_vertices,
         )
-        mapping = ScratchpadMapping(
-            num_cores=config.core.num_cores,
-            hot_capacity=hot_capacity,
-            chunk_size=sp_chunk_size if sp_chunk_size is not None else chunk_size,
-        )
-        microcode = microcode_for_algorithm(algorithm) if config.use_pisc else None
-        hierarchy = OmegaHierarchy(
+        if backend_name != "dynamic":
+            mapping = ScratchpadMapping(
+                num_cores=config.core.num_cores,
+                hot_capacity=hot_capacity,
+                chunk_size=(
+                    sp_chunk_size if sp_chunk_size is not None else chunk_size
+                ),
+            )
+
+    microcode = None
+    if backend_name in ("omega", "dynamic") and config.use_pisc:
+        microcode = microcode_for_algorithm(algorithm)
+
+    if backend_name == "baseline":
+        hierarchy = BaselineBackend(config, dram_random_ranges=vtx_ranges)
+    elif backend_name == "omega":
+        hierarchy = OmegaBackend(
             config, mapping, microcode, dram_random_ranges=vtx_ranges
         )
+    elif backend_name == "locked":
+        hierarchy = LockedCacheBackend(config, mapping)
+    elif backend_name == "graphpim":
+        hierarchy = GraphPimBackend(config, pim)
+    elif backend_name == "dynamic":
+        hierarchy = DynamicScratchpadBackend(config, hot_capacity, microcode)
     else:
-        hierarchy = BaselineHierarchy(config, dram_random_ranges=vtx_ranges)
+        # Extension backends take just the config.
+        hierarchy = backend_cls(config)
 
+    replay_start = time.perf_counter()
     output = hierarchy.replay(trace)
+    replay_seconds = time.perf_counter() - replay_start
     timing = compute_timing(output, config)
     model = energy_model or EnergyModel()
     energy = model.breakdown(output.stats)
 
     n = work_graph.num_vertices
-    return SimReport(
-        system=config.name,
+    report = SimReport(
+        system=_BACKEND_LABELS.get(backend_name, config.name),
         algorithm=algorithm,
         dataset=dataset,
         config=config,
@@ -156,7 +237,12 @@ def run_system(
         num_vertices=n,
         num_edges=work_graph.num_edges,
         trace_events=trace.num_events,
+        backend=backend_name,
+        replay_seconds=replay_seconds,
     )
+    if manifest_path is not None:
+        report.save_manifest(manifest_path)
+    return report
 
 
 def run_locked_cache(
@@ -170,52 +256,18 @@ def run_locked_cache(
 ) -> SimReport:
     """Run the Section IX locked-cache alternative.
 
-    Hot vertices (the same popularity partition OMEGA uses) are pinned
-    in the shared L2; everything else behaves like the baseline. The
-    default config is the scaled-OMEGA storage split (halved L2 — the
-    other half is the locked region) with PISCs disabled, keeping the
+    Thin alias for ``run_system(..., backend="locked")``. The default
+    config is the scaled-OMEGA storage split (halved L2 — the other
+    half is the locked region) with PISCs disabled, keeping the
     total-on-chip-storage comparison fair.
     """
-    from repro.memsim.alternatives import LockedCacheHierarchy
-
     if config is None:
-        config = SimConfig.scaled_omega(use_pisc=False, use_source_buffer=False)
-    if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
-        alg_kwargs["source"] = default_source(graph)
-    work_graph, new_ids = reorder_nth_element(graph, key="in")
-    if "source" in alg_kwargs and alg_kwargs["source"] is not None:
-        alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
-    result = run_algorithm(
-        algorithm, work_graph, num_cores=config.core.num_cores,
-        chunk_size=chunk_size, trace=True, **alg_kwargs,
-    )
-    # The locked region is sized exactly like OMEGA's scratchpads.
-    hot_capacity = hot_capacity_for(
-        config.scratchpad_total_bytes or config.total_onchip_bytes // 2,
-        result.engine.vtxprop_bytes_per_vertex(),
-        work_graph.num_vertices,
-    )
-    mapping = ScratchpadMapping(
-        config.core.num_cores, hot_capacity, chunk_size=chunk_size
-    )
-    output = LockedCacheHierarchy(config, mapping).replay(result.trace)
-    timing = compute_timing(output, config)
-    model = energy_model or EnergyModel()
-    n = work_graph.num_vertices
-    return SimReport(
-        system="locked-cache",
-        algorithm=algorithm,
-        dataset=dataset,
-        config=config,
-        stats=output.stats,
-        timing=timing,
-        energy=model.breakdown(output.stats),
-        replay=output,
-        hot_capacity=hot_capacity,
-        hot_fraction=hot_capacity / n if n else 0.0,
-        num_vertices=n,
-        num_edges=work_graph.num_edges,
-        trace_events=result.trace.num_events,
+        config = SimConfig.scaled_omega(
+            use_pisc=False, use_source_buffer=False
+        )
+    return run_system(
+        graph, algorithm, config, dataset=dataset, chunk_size=chunk_size,
+        energy_model=energy_model, backend="locked", **alg_kwargs,
     )
 
 
@@ -231,35 +283,16 @@ def run_graphpim(
 ) -> SimReport:
     """Run the GraphPIM-style comparator (atomics offloaded off-chip).
 
-    Uses the baseline's full cache hierarchy (GraphPIM repurposes no
-    storage) and runs on the *original* vertex order (it needs no
-    popularity preprocessing).
+    Thin alias for ``run_system(..., backend="graphpim")``. Uses the
+    baseline's full cache hierarchy (GraphPIM repurposes no storage)
+    and runs on the *original* vertex order (it needs no popularity
+    preprocessing).
     """
-    from repro.memsim.alternatives import PimHierarchy
-
     if config is None:
         config = SimConfig.scaled_baseline()
-    if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
-        alg_kwargs["source"] = default_source(graph)
-    result = run_algorithm(
-        algorithm, graph, num_cores=config.core.num_cores,
-        chunk_size=chunk_size, trace=True, **alg_kwargs,
-    )
-    output = PimHierarchy(config, pim).replay(result.trace)
-    timing = compute_timing(output, config)
-    model = energy_model or EnergyModel()
-    return SimReport(
-        system="graphpim",
-        algorithm=algorithm,
-        dataset=dataset,
-        config=config,
-        stats=output.stats,
-        timing=timing,
-        energy=model.breakdown(output.stats),
-        replay=output,
-        num_vertices=graph.num_vertices,
-        num_edges=graph.num_edges,
-        trace_events=result.trace.num_events,
+    return run_system(
+        graph, algorithm, config, dataset=dataset, chunk_size=chunk_size,
+        energy_model=energy_model, backend="graphpim", pim=pim, **alg_kwargs,
     )
 
 

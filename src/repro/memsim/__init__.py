@@ -4,6 +4,10 @@ The gem5 substitute: set-associative caches with a MESI-style
 directory, a banked shared L2, a crossbar, DRAM bandwidth/latency
 accounting, OMEGA's scratchpads + PISC engines + source buffers, an
 analytic core timing model, and energy/area models.
+
+All hierarchy variants are routing policies over one batch-vectorized
+replay engine (:mod:`repro.memsim.engine`); pick one by name via
+:func:`get_backend` / ``run_system(..., backend=...)``.
 """
 
 from repro.memsim.alternatives import (
@@ -17,10 +21,19 @@ from repro.memsim.coherence import Directory
 from repro.memsim.core_model import TimingResult, compute_timing
 from repro.memsim.dram import DramModel
 from repro.memsim.energy import EnergyBreakdown, EnergyModel
+from repro.memsim.engine import (
+    BACKENDS,
+    HierarchyBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.memsim.geometry import BankGeometry
 from repro.memsim.hierarchy import BaselineHierarchy, OmegaHierarchy, ReplayOutput
 from repro.memsim.interconnect import Crossbar
 from repro.memsim.mapping import ScratchpadMapping
 from repro.memsim.pisc import MicroOp, Microcode, PiscEngine
+from repro.memsim.prepass import StreamDetector, TracePrepass, precompute
 from repro.memsim.scratchpad import (
     MonitorRegister,
     ScratchpadController,
@@ -33,6 +46,15 @@ __all__ = [
     "LockedCacheHierarchy",
     "PimConfig",
     "PimHierarchy",
+    "BACKENDS",
+    "HierarchyBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "BankGeometry",
+    "StreamDetector",
+    "TracePrepass",
+    "precompute",
     "area_power_table",
     "Cache",
     "Directory",

@@ -1,37 +1,33 @@
 """Alternative memory-subsystem designs the paper argues against.
 
 Section IX ("Locked cache vs. scratchpad") and the related-work
-comparison (Table V) position OMEGA against two neighboring designs,
-both implemented here so the claims can be measured rather than taken
-on faith:
+comparison (Table V) position OMEGA against neighboring designs. All
+three alternatives are now routing policies over the unified replay
+engine (:mod:`repro.memsim.engine`), re-exported here under their
+historical names:
 
-- :class:`LockedCacheHierarchy` — pin the hot vertices' cache lines in
-  the shared L2 (replacement disabled) instead of moving them to
+- :class:`LockedCacheHierarchy` (``backend="locked"``) — pin the hot
+  vertices' cache lines in the shared L2 instead of moving them to
   scratchpads. The hot set always hits on chip, but every access still
-  moves a 64-byte line across the crossbar and every atomic still
-  executes on a core: the paper predicts "high on-chip communication
-  overhead because data is inefficiently accessed on a cache-line
-  granularity".
-- :class:`PimHierarchy` — a GraphPIM-style design (Nai et al., HPCA
-  2017): every vtxProp atomic is offloaded to processing-in-memory
-  units *off-chip*, with no scratchpads at all. Cores stop stalling on
-  atomics, but each offload turns into a DRAM-side read-modify-write,
-  so the design trades pipeline stalls for off-chip traffic and cannot
-  exploit the on-chip locality of natural graphs.
+  moves a full line across the crossbar and every atomic still
+  executes on a core.
+- :class:`PimHierarchy` (``backend="graphpim"``) — a GraphPIM-style
+  design (Nai et al., HPCA 2017): every vtxProp atomic is offloaded to
+  processing-in-memory units *off-chip*, trading pipeline stalls for
+  off-chip traffic.
+- :class:`DynamicScratchpadHierarchy` (``backend="dynamic"``) — the
+  Section VI dynamic hot-set alternative: scratchpads managed as a
+  frequency-weighted vertex cache, no offline reordering.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.config import SimConfig
-from repro.errors import SimulationError
-from repro.ligra.trace import AccessClass, FLAG_ATOMIC, FLAG_WRITE, Trace
-from repro.memsim.dram import DramModel
-from repro.memsim.hierarchy import ReplayOutput, _CacheSystem
-from repro.memsim.interconnect import Crossbar
-from repro.memsim.mapping import ScratchpadMapping
-from repro.memsim.stats import MemStats
+from repro.memsim.engine import (
+    DynamicScratchpadBackend as DynamicScratchpadHierarchy,
+    GraphPimBackend as PimHierarchy,
+    LockedCacheBackend as LockedCacheHierarchy,
+    PimConfig,
+)
 
 __all__ = [
     "LockedCacheHierarchy",
@@ -39,398 +35,3 @@ __all__ = [
     "PimConfig",
     "DynamicScratchpadHierarchy",
 ]
-
-
-class LockedCacheHierarchy:
-    """Hot vertices pinned in the L2 via cache-line locking.
-
-    Uses the same popularity partition as OMEGA (``mapping`` decides
-    which vertices are "locked"), but a locked access behaves like a
-    guaranteed L2 hit at its home bank: L2 latency, plus a crossbar
-    *line* transfer whenever the bank is remote — no word-granularity
-    packets, no PISC, atomics serialized on the cores. The L2 capacity
-    available to everything else shrinks by the locked footprint, which
-    the caller models by passing a config with a reduced L2 (the same
-    halved-L2 config OMEGA uses keeps the storage comparison fair).
-    """
-
-    def __init__(self, config: SimConfig, mapping: ScratchpadMapping) -> None:
-        if config.use_pisc:
-            raise SimulationError(
-                "LockedCacheHierarchy has no PISCs; pass use_pisc=False"
-            )
-        self.config = config
-        self.mapping = mapping
-
-    def replay(self, trace: Trace) -> ReplayOutput:
-        """Replay with locked-line routing for hot vtxProp accesses."""
-        trace = trace.interleaved()
-        config = self.config
-        ncores = config.core.num_cores
-        stats = MemStats(num_cores=ncores)
-        dram = DramModel(config.dram)
-        crossbar = Crossbar(config.interconnect, ncores)
-        system = _CacheSystem(config, stats, dram, crossbar)
-
-        cores = trace.core.tolist()
-        addrs = trace.addr.tolist()
-        classes = trace.access_class.tolist()
-        flags = trace.flags.tolist()
-        vertices = trace.vertex.tolist()
-
-        mem_lat = stats.core_mem_latency
-        serial = stats.core_serial_cycles
-        accesses = stats.core_accesses
-        access = system.access
-
-        vtxprop = int(AccessClass.VTXPROP)
-        l2_lat = config.l2_per_core.latency_cycles
-        line_bytes = config.l1.line_bytes
-        header = config.interconnect.header_bytes
-        atomic_stall = config.core.atomic_stall_cycles
-        atomic_ser = config.core.atomic_serialization
-        hot_capacity = self.mapping.hot_capacity
-        chunk = self.mapping.chunk_size
-
-        for i in range(len(cores)):
-            core = cores[i]
-            f = flags[i]
-            write = bool(f & FLAG_WRITE)
-            atomic = bool(f & FLAG_ATOMIC)
-            vertex = vertices[i]
-            accesses[core] += 1
-
-            if classes[i] == vtxprop and 0 <= vertex < hot_capacity:
-                # Locked line: guaranteed on-chip, at line granularity.
-                bank = (vertex // chunk) % ncores
-                lat = float(l2_lat)
-                stats.l2_hits += 1
-                if bank != core:
-                    lat += crossbar.line_transfer(line_bytes)
-                    stats.onchip_line_bytes += line_bytes + header
-                if atomic:
-                    stats.atomics_total += 1
-                    stats.atomics_on_cores += 1
-                    serial[core] += lat * atomic_ser + atomic_stall
-                    mem_lat[core] += lat * (1.0 - atomic_ser)
-                else:
-                    mem_lat[core] += lat
-                continue
-
-            latency = access(core, addrs[i], write)
-            if atomic:
-                stats.atomics_total += 1
-                stats.atomics_on_cores += 1
-                serial[core] += latency * atomic_ser + atomic_stall
-                mem_lat[core] += latency * (1.0 - atomic_ser)
-            else:
-                mem_lat[core] += latency
-
-        return ReplayOutput(
-            stats=stats,
-            dram=dram,
-            crossbar=crossbar,
-            l1s=system.l1s,
-            l2_banks=system.l2_banks,
-            directory=system.directory,
-        )
-
-
-class PimConfig:
-    """Parameters of the off-chip PIM atomic units (GraphPIM-style)."""
-
-    def __init__(
-        self,
-        op_cycles: int = 8,
-        units: int = 32,
-        bytes_per_op: int = 16,
-        issue_cycles: int = 1,
-    ) -> None:
-        if units <= 0:
-            raise SimulationError(f"PIM needs >= 1 unit, got {units}")
-        #: DRAM-side read-modify-write latency charged as occupancy.
-        self.op_cycles = op_cycles
-        #: Number of PIM units (one per vault/channel slice).
-        self.units = units
-        #: Off-chip bytes per atomic (HMC-style 16-byte atomics).
-        self.bytes_per_op = bytes_per_op
-        #: Core-side cost of issuing the offload packet.
-        self.issue_cycles = issue_cycles
-
-
-class PimHierarchy:
-    """GraphPIM-style: vtxProp atomics execute in off-chip memory.
-
-    Non-atomic traffic uses the full (baseline-sized) cache hierarchy;
-    every vtxProp atomic becomes a fire-and-forget packet to a PIM unit
-    chosen by vertex id, costing off-chip bytes and PIM occupancy
-    instead of core stalls.
-    """
-
-    def __init__(self, config: SimConfig, pim: Optional[PimConfig] = None) -> None:
-        if config.use_scratchpad:
-            raise SimulationError(
-                "PimHierarchy uses the full cache hierarchy; pass a"
-                " baseline-style config"
-            )
-        self.config = config
-        self.pim = pim or PimConfig()
-
-    def replay(self, trace: Trace) -> ReplayOutput:
-        """Replay with PIM offloading of all vtxProp atomics."""
-        trace = trace.interleaved()
-        config = self.config
-        ncores = config.core.num_cores
-        stats = MemStats(num_cores=ncores)
-        dram = DramModel(config.dram)
-        crossbar = Crossbar(config.interconnect, ncores)
-        system = _CacheSystem(config, stats, dram, crossbar)
-        pim = self.pim
-        pim_busy = [0] * pim.units
-
-        cores = trace.core.tolist()
-        addrs = trace.addr.tolist()
-        classes = trace.access_class.tolist()
-        flags = trace.flags.tolist()
-        vertices = trace.vertex.tolist()
-
-        mem_lat = stats.core_mem_latency
-        serial = stats.core_serial_cycles
-        accesses = stats.core_accesses
-        access = system.access
-
-        vtxprop = int(AccessClass.VTXPROP)
-        atomic_stall = config.core.atomic_stall_cycles
-        atomic_ser = config.core.atomic_serialization
-
-        for i in range(len(cores)):
-            core = cores[i]
-            f = flags[i]
-            write = bool(f & FLAG_WRITE)
-            atomic = bool(f & FLAG_ATOMIC)
-            accesses[core] += 1
-
-            if atomic and classes[i] == vtxprop:
-                stats.atomics_total += 1
-                stats.atomics_offloaded += 1
-                serial[core] += pim.issue_cycles
-                unit = vertices[i] % pim.units if vertices[i] >= 0 else 0
-                pim_busy[unit] += pim.op_cycles
-                # The atomic's RMW happens in memory: off-chip bytes,
-                # no cache-line fetch.
-                stats.dram_read_bytes += pim.bytes_per_op // 2
-                stats.dram_write_bytes += pim.bytes_per_op // 2
-                dram.read_bytes += pim.bytes_per_op // 2
-                dram.write_bytes += pim.bytes_per_op // 2
-                dram.read_accesses += 1
-                continue
-
-            latency = access(core, addrs[i], write)
-            if atomic:
-                stats.atomics_total += 1
-                stats.atomics_on_cores += 1
-                serial[core] += latency * atomic_ser + atomic_stall
-                mem_lat[core] += latency * (1.0 - atomic_ser)
-            else:
-                mem_lat[core] += latency
-
-        # Report PIM occupancy through the same channel the core model
-        # reads PISC occupancy from (max over units bounds the run).
-        per_core = [0] * ncores
-        for u, busy in enumerate(pim_busy):
-            per_core[u % ncores] += busy
-        stats.pisc_occupancy = per_core
-
-        return ReplayOutput(
-            stats=stats,
-            dram=dram,
-            crossbar=crossbar,
-            l1s=system.l1s,
-            l2_banks=system.l2_banks,
-            directory=system.directory,
-        )
-
-
-class DynamicScratchpadHierarchy:
-    """Section VI's *dynamic* hot-set identification, made measurable.
-
-    Instead of OMEGA's offline reordering, the scratchpads here are
-    managed as a frequency-weighted vertex cache: any vtxProp access
-    may allocate its vertex into the (hash-partitioned) pads, and on
-    conflict the entry with the higher running access count stays —
-    "a hardware cache with a replacement policy based on vertex
-    connectivity and a word granularity cache-block size", which the
-    paper rejects for its tag overhead (up to 2x storage for BFS) but
-    never measures. Hits behave like OMEGA scratchpad accesses
-    (atomics offload to the PISC); misses fall through to the cache
-    path and train the frequency counters.
-
-    Runs on the *original* vertex ordering — no preprocessing pass.
-    """
-
-    def __init__(
-        self,
-        config: SimConfig,
-        capacity_vertices: int,
-        microcode=None,
-        slots_per_set: int = 4,
-    ) -> None:
-        if not config.use_scratchpad:
-            raise SimulationError(
-                "DynamicScratchpadHierarchy needs an OMEGA-style config"
-            )
-        if capacity_vertices < 0:
-            raise SimulationError(
-                f"capacity must be >= 0, got {capacity_vertices}"
-            )
-        if slots_per_set <= 0:
-            raise SimulationError(
-                f"slots_per_set must be > 0, got {slots_per_set}"
-            )
-        self.config = config
-        self.capacity_vertices = capacity_vertices
-        self.microcode = microcode
-        self.slots_per_set = slots_per_set
-
-    def replay(self, trace: Trace) -> ReplayOutput:
-        """Replay with dynamic (frequency-based) scratchpad management."""
-        from repro.ligra.trace import FLAG_UPDATE
-        from repro.memsim.pisc import PiscEngine
-
-        trace = trace.interleaved()
-        config = self.config
-        ncores = config.core.num_cores
-        stats = MemStats(num_cores=ncores)
-        dram = DramModel(config.dram)
-        crossbar = Crossbar(config.interconnect, ncores)
-        system = _CacheSystem(config, stats, dram, crossbar)
-
-        use_pisc = config.use_pisc and self.microcode is not None
-        piscs = [PiscEngine(p) for p in range(ncores)]
-        if use_pisc:
-            for p in piscs:
-                p.load_microcode(self.microcode)
-
-        num_sets = (
-            max(1, self.capacity_vertices // self.slots_per_set)
-            if self.capacity_vertices > 0
-            else 0
-        )
-        # Per set: {vertex: access_count}; the min-count entry is the victim.
-        sets = [dict() for _ in range(num_sets)]
-        freq: dict = {}
-
-        cores = trace.core.tolist()
-        addrs = trace.addr.tolist()
-        sizes = trace.size.tolist()
-        classes = trace.access_class.tolist()
-        flags = trace.flags.tolist()
-        vertices = trace.vertex.tolist()
-
-        mem_lat = stats.core_mem_latency
-        serial = stats.core_serial_cycles
-        accesses = stats.core_accesses
-        occupancy = stats.pisc_occupancy
-        access = system.access
-
-        vtxprop = int(AccessClass.VTXPROP)
-        sp_lat = config.scratchpad.latency_cycles
-        header = config.interconnect.header_bytes
-        offload_issue = config.core.offload_issue_cycles
-        atomic_stall = config.core.atomic_stall_cycles
-        atomic_ser = config.core.atomic_serialization
-
-        for i in range(len(cores)):
-            core = cores[i]
-            f = flags[i]
-            write = bool(f & FLAG_WRITE)
-            atomic = bool(f & FLAG_ATOMIC)
-            vertex = vertices[i]
-            accesses[core] += 1
-
-            resident = False
-            if classes[i] == vtxprop and vertex >= 0 and num_sets:
-                count = freq.get(vertex, 0) + 1
-                freq[vertex] = count
-                entry_set = sets[vertex % num_sets]
-                if vertex in entry_set:
-                    entry_set[vertex] = count
-                    resident = True
-                elif len(entry_set) < self.slots_per_set:
-                    entry_set[vertex] = count
-                    resident = True
-                else:
-                    victim = min(entry_set, key=entry_set.get)
-                    if entry_set[victim] < count:
-                        del entry_set[victim]
-                        entry_set[vertex] = count
-                        resident = True
-
-            if resident:
-                home = vertex % ncores
-                local = home == core
-                nbytes = min(sizes[i], 8)
-                if atomic and use_pisc:
-                    stats.atomics_total += 1
-                    stats.atomics_offloaded += 1
-                    stats.pisc_ops += 1
-                    serial[core] += offload_issue
-                    occupancy[home] += piscs[home].execute(vertex)
-                    if local:
-                        stats.sp_local_accesses += 1
-                    else:
-                        stats.sp_remote_accesses += 1
-                        crossbar.word_transfer(nbytes, core, home)
-                        stats.onchip_word_bytes += nbytes + header
-                    continue
-                lat = float(sp_lat)
-                if local:
-                    stats.sp_local_accesses += 1
-                    stats.sp_plain_local += 1
-                else:
-                    stats.sp_remote_accesses += 1
-                    stats.sp_plain_remote += 1
-                    lat += crossbar.transfer_latency(core, home)
-                    crossbar.word_transfer(nbytes, core, home)
-                    stats.onchip_word_bytes += nbytes + header
-                if atomic:
-                    stats.atomics_total += 1
-                    stats.atomics_on_cores += 1
-                    serial[core] += lat * atomic_ser + atomic_stall
-                    mem_lat[core] += lat * (1.0 - atomic_ser)
-                else:
-                    mem_lat[core] += lat
-                continue
-
-            latency = access(core, addrs[i], write)
-            if atomic:
-                stats.atomics_total += 1
-                stats.atomics_on_cores += 1
-                serial[core] += latency * atomic_ser + atomic_stall
-                mem_lat[core] += latency * (1.0 - atomic_ser)
-            else:
-                mem_lat[core] += latency
-
-        return ReplayOutput(
-            stats=stats,
-            dram=dram,
-            crossbar=crossbar,
-            l1s=system.l1s,
-            l2_banks=system.l2_banks,
-            directory=system.directory,
-            piscs=piscs,
-        )
-
-    def tag_overhead_fraction(self, vtxprop_entry_bytes: int,
-                              tag_bytes: int = 4) -> float:
-        """Storage overhead of the dynamic approach's per-entry tags.
-
-        The paper's rejection argument: "2x overhead for BFS assuming
-        32 bits per tag entry and 32 bits per vtxProp entry".
-        """
-        if vtxprop_entry_bytes <= 0:
-            raise SimulationError(
-                f"entry bytes must be > 0, got {vtxprop_entry_bytes}"
-            )
-        return tag_bytes / vtxprop_entry_bytes
-

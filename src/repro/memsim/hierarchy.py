@@ -1,427 +1,26 @@
-"""Trace replay through the baseline CMP and OMEGA memory hierarchies.
+"""Baseline CMP and OMEGA hierarchies (compatibility surface).
 
-Both hierarchies share the cache path: private L1s backed by a shared,
-line-interleaved banked L2 with a MESI-style directory, a crossbar
-between tiles, and DRAM behind the L2. The OMEGA hierarchy adds the
-monitor-unit routing: vtxProp accesses to hot (scratchpad-resident)
-vertices bypass the caches entirely — atomics become PISC offload
-packets, source reads consult the per-core source vertex buffer, and
-everything moves at word granularity.
+Both replay paths now live in the unified engine
+(:mod:`repro.memsim.engine`): the baseline and OMEGA hierarchies are
+routing policies over the shared :class:`_CacheSystem`, a vectorized
+trace pre-pass, and batch accounting. This module re-exports them
+under their historical names so existing imports keep working:
 
-Replay is a single pass over the columnar trace, accumulating
-per-core latency/stall sums that the analytic core model then folds
-into cycles.
+- :class:`BaselineHierarchy` — the paper's cache-only CMP
+  (``backend="baseline"``),
+- :class:`OmegaHierarchy` — scratchpads + PISCs + source buffers
+  (``backend="omega"``),
+- :class:`ReplayOutput` / :class:`_CacheSystem` — the shared replay
+  result and cache path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
-
-from repro.config import SimConfig
-from repro.errors import SimulationError
-from repro.ligra.trace import (
-    AccessClass,
-    FLAG_ATOMIC,
-    FLAG_SRC_READ,
-    FLAG_UPDATE,
-    FLAG_WRITE,
-    Trace,
+from repro.memsim.engine import (
+    BaselineBackend as BaselineHierarchy,
+    OmegaBackend as OmegaHierarchy,
+    ReplayOutput,
+    _CacheSystem,
 )
-from repro.memsim.cache import Cache
-from repro.memsim.coherence import Directory
-from repro.memsim.dram import DramModel
-from repro.memsim.interconnect import Crossbar
-from repro.memsim.mapping import ScratchpadMapping
-from repro.memsim.pisc import Microcode, PiscEngine
-from repro.memsim.srcbuffer import SourceVertexBuffer
-from repro.memsim.stats import MemStats
 
-__all__ = ["ReplayOutput", "BaselineHierarchy", "OmegaHierarchy"]
-
-
-@dataclass
-class ReplayOutput:
-    """Everything a replay produces, for the timing/energy models."""
-
-    stats: MemStats
-    dram: DramModel
-    crossbar: Crossbar
-    l1s: List[Cache]
-    l2_banks: List[Cache]
-    directory: Directory
-    srcbufs: Optional[List[SourceVertexBuffer]] = None
-    piscs: Optional[List[PiscEngine]] = None
-
-
-class _CacheSystem:
-    """The shared cache path: L1s + banked L2 + directory + DRAM."""
-
-    def __init__(self, config: SimConfig, stats: MemStats,
-                 dram: DramModel, crossbar: Crossbar) -> None:
-        ncores = config.core.num_cores
-        self.config = config
-        self.stats = stats
-        self.dram = dram
-        self.crossbar = crossbar
-        self.l1s = [Cache(config.l1, f"l1.{c}") for c in range(ncores)]
-        self.l2_banks = [
-            Cache(config.l2_per_core, f"l2.{b}") for b in range(ncores)
-        ]
-        self.directory = Directory(ncores)
-        self.ncores = ncores
-        # Banking: bank = line low bits; bank-local key drops them.
-        self.bank_mask = ncores - 1
-        self.bank_bits = max(ncores.bit_length() - 1, 0)
-        self.line_bytes = config.l1.line_bytes
-        self.line_bits = self.line_bytes.bit_length() - 1
-        self.l1_lat = config.l1.latency_cycles
-        self.l2_lat = config.l2_per_core.latency_cycles
-        self.remote_lat = config.interconnect.remote_latency_cycles
-        # Per-core stream-prefetcher state: a few recent stream heads.
-        # An OoO core's stride prefetcher hides the latency of
-        # sequential line streams (edgeList scans); the fetch itself
-        # (traffic, cache fills) still happens.
-        self._stream_heads = [[-2] * 16 for _ in range(ncores)]
-        self._stream_next = [0] * ncores
-
-    def _prefetched(self, core: int, line: int) -> bool:
-        """Stride detection: is ``line`` the next line of a live stream?
-
-        Matching advances the stream head; a miss on all heads starts a
-        new stream (round-robin replacement), so the *second* line of
-        any sequential run and onward count as prefetched.
-        """
-        heads = self._stream_heads[core]
-        for i, head in enumerate(heads):
-            if line == head + 1:
-                heads[i] = line
-                return True
-        slot = self._stream_next[core]
-        heads[slot] = line
-        self._stream_next[core] = (slot + 1) % len(heads)
-        return False
-
-    def access(self, core: int, addr: int, write: bool) -> float:
-        """One cache-path access; returns the latency seen by the core."""
-        line = addr >> self.line_bits
-        stats = self.stats
-        l1 = self.l1s[core]
-        latency = float(self.l1_lat)
-        hit, dirty_victim = l1.access_line(line, write)
-        if hit:
-            stats.l1_hits += 1
-            if write:
-                inval_mask, writeback = self.directory.on_write(line, core)
-                if inval_mask:
-                    latency += self._invalidate(inval_mask, line, core)
-                if writeback:
-                    latency += self._fetch_modified(line)
-            return latency
-
-        stats.l1_misses += 1
-        # Coherence action for the fill.
-        if write:
-            inval_mask, writeback = self.directory.on_write(line, core)
-            if inval_mask:
-                latency += self._invalidate(inval_mask, line, core)
-        else:
-            _, writeback = self.directory.on_read(line, core)
-        if writeback:
-            latency += self._fetch_modified(line)
-        if dirty_victim is not None:
-            self._writeback_to_l2(dirty_victim, core)
-            self.directory.on_eviction(dirty_victim, core)
-
-        # L2 lookup at the line's home bank.
-        bank = line & self.bank_mask
-        bank_key = line >> self.bank_bits
-        if bank != core:
-            latency += self.crossbar.line_transfer(self.line_bytes, core, bank)
-            stats.onchip_line_bytes += (
-                self.line_bytes + self.crossbar.config.header_bytes
-            )
-        latency += self.l2_lat
-        l2hit, l2_dirty_victim = self.l2_banks[bank].access_line(bank_key, write)
-        if l2hit:
-            stats.l2_hits += 1
-        else:
-            stats.l2_misses += 1
-            stats.dram_read_bytes += self.line_bytes
-            latency += self.dram.read(self.line_bytes, addr)
-        if l2_dirty_victim is not None:
-            victim_addr = (l2_dirty_victim << self.bank_bits | bank) << self.line_bits
-            self.dram.write(self.line_bytes, victim_addr)
-            stats.dram_write_bytes += self.line_bytes
-        # A stream prefetcher hides the fill latency of sequential line
-        # runs; the traffic and cache-state changes above still stand.
-        if self._prefetched(core, line):
-            stats.prefetch_hits += 1
-            latency = float(self.l1_lat + 1)
-        return latency
-
-    def _invalidate(self, inval_mask: int, line: int, writer: int) -> float:
-        """Invalidate other cores' L1 copies; returns added latency."""
-        stats = self.stats
-        latency = 0.0
-        mask = inval_mask
-        c = 0
-        while mask:
-            if mask & 1:
-                self.l1s[c].invalidate_line(line)
-                stats.onchip_word_bytes += self.crossbar.config.header_bytes
-                self.crossbar.control_message()
-                stats.coherence_invalidations += 1
-            mask >>= 1
-            c += 1
-        # The writer waits one round trip for the acks, not one per copy.
-        latency += self.remote_lat
-        return latency
-
-    def _fetch_modified(self, line: int) -> float:
-        """Cache-to-cache transfer of a modified line."""
-        self.stats.onchip_line_bytes += (
-            self.line_bytes + self.crossbar.config.header_bytes
-        )
-        return float(self.crossbar.line_transfer(self.line_bytes))
-
-    def _writeback_to_l2(self, line: int, core: int) -> None:
-        """Write a dirty L1 victim back to its L2 bank."""
-        bank = line & self.bank_mask
-        bank_key = line >> self.bank_bits
-        if bank != core:
-            self.crossbar.line_transfer(self.line_bytes, core, bank)
-            self.stats.onchip_line_bytes += (
-                self.line_bytes + self.crossbar.config.header_bytes
-            )
-        _, l2_dirty_victim = self.l2_banks[bank].access_line(bank_key, True)
-        if l2_dirty_victim is not None:
-            victim_addr = (l2_dirty_victim << self.bank_bits | bank) << self.line_bits
-            self.dram.write(self.line_bytes, victim_addr)
-            self.stats.dram_write_bytes += self.line_bytes
-
-
-class BaselineHierarchy:
-    """The paper's baseline CMP: caches only, atomics on the cores."""
-
-    def __init__(self, config: SimConfig, dram_random_ranges=()) -> None:
-        if config.use_scratchpad:
-            raise SimulationError(
-                "BaselineHierarchy requires a config without scratchpads"
-            )
-        self.config = config
-        #: (start, end) address ranges served close-page under the
-        #: "hybrid" DRAM policy (the vtxProp regions).
-        self.dram_random_ranges = tuple(dram_random_ranges)
-
-    def replay(self, trace: Trace) -> ReplayOutput:
-        """Replay ``trace`` and return all models' end state."""
-        trace = trace.interleaved()
-        config = self.config
-        stats = MemStats(num_cores=config.core.num_cores)
-        dram = DramModel(config.dram)
-        dram.set_random_ranges(self.dram_random_ranges)
-        crossbar = Crossbar(config.interconnect, config.core.num_cores)
-        system = _CacheSystem(config, stats, dram, crossbar)
-
-        cores = trace.core.tolist()
-        addrs = trace.addr.tolist()
-        flags = trace.flags.tolist()
-        mem_lat = stats.core_mem_latency
-        serial = stats.core_serial_cycles
-        accesses = stats.core_accesses
-        atomic_stall = config.core.atomic_stall_cycles
-        atomic_ser = config.core.atomic_serialization
-        access = system.access
-
-        for i in range(len(cores)):
-            core = cores[i]
-            f = flags[i]
-            write = bool(f & FLAG_WRITE)
-            latency = access(core, addrs[i], write)
-            accesses[core] += 1
-            if f & FLAG_ATOMIC:
-                # A core-executed atomic serializes the pipeline for
-                # most of the RMW round trip (a fraction overlaps with
-                # atomics to independent lines).
-                stats.atomics_total += 1
-                stats.atomics_on_cores += 1
-                serial[core] += latency * atomic_ser + atomic_stall
-                mem_lat[core] += latency * (1.0 - atomic_ser)
-            else:
-                mem_lat[core] += latency
-
-        return ReplayOutput(
-            stats=stats,
-            dram=dram,
-            crossbar=crossbar,
-            l1s=system.l1s,
-            l2_banks=system.l2_banks,
-            directory=system.directory,
-        )
-
-
-class OmegaHierarchy:
-    """OMEGA: halved L2 + partitioned scratchpads + PISCs + source buffers."""
-
-    def __init__(
-        self,
-        config: SimConfig,
-        mapping: ScratchpadMapping,
-        microcode: Optional[Microcode] = None,
-        dram_random_ranges=(),
-    ) -> None:
-        if not config.use_scratchpad:
-            raise SimulationError(
-                "OmegaHierarchy requires a config with use_scratchpad=True"
-            )
-        self.config = config
-        self.mapping = mapping
-        self.microcode = microcode
-        self.dram_random_ranges = tuple(dram_random_ranges)
-
-    def replay(self, trace: Trace) -> ReplayOutput:
-        """Replay ``trace`` with monitor-unit routing to the scratchpads."""
-        trace = trace.interleaved()
-        config = self.config
-        ncores = config.core.num_cores
-        stats = MemStats(num_cores=ncores)
-        dram = DramModel(config.dram)
-        dram.set_random_ranges(self.dram_random_ranges)
-        crossbar = Crossbar(config.interconnect, ncores)
-        system = _CacheSystem(config, stats, dram, crossbar)
-
-        use_pisc = config.use_pisc and self.microcode is not None
-        piscs = [PiscEngine(p) for p in range(ncores)]
-        if use_pisc:
-            for p in piscs:
-                p.load_microcode(self.microcode)
-        srcbufs = (
-            [SourceVertexBuffer(config.source_buffer_entries) for _ in range(ncores)]
-            if config.use_source_buffer
-            else None
-        )
-
-        cores = trace.core.tolist()
-        addrs = trace.addr.tolist()
-        sizes = trace.size.tolist()
-        classes = trace.access_class.tolist()
-        flags = trace.flags.tolist()
-        vertices = trace.vertex.tolist()
-        barriers = trace.barriers.tolist()
-        barrier_set = set(barriers) if srcbufs is not None else set()
-
-        mem_lat = stats.core_mem_latency
-        serial = stats.core_serial_cycles
-        accesses = stats.core_accesses
-        occupancy = stats.pisc_occupancy
-        access = system.access
-
-        vtxprop = int(AccessClass.VTXPROP)
-        sp_lat = config.scratchpad.latency_cycles
-        remote_lat = config.interconnect.remote_latency_cycles
-        header = config.interconnect.header_bytes
-        offload_issue = config.core.offload_issue_cycles
-        atomic_stall = config.core.atomic_stall_cycles
-        atomic_ser = config.core.atomic_serialization
-        mapping = self.mapping
-        hot_capacity = mapping.hot_capacity
-        chunk = mapping.chunk_size
-
-        for i in range(len(cores)):
-            if barrier_set and i in barrier_set:
-                for buf in srcbufs:
-                    buf.invalidate_all()
-            core = cores[i]
-            f = flags[i]
-            write = bool(f & FLAG_WRITE)
-            atomic = bool(f & FLAG_ATOMIC)
-            vertex = vertices[i]
-            accesses[core] += 1
-
-            if classes[i] == vtxprop and 0 <= vertex < hot_capacity:
-                # Monitor unit matched: scratchpad path.
-                home = (vertex // chunk) % ncores
-                local = home == core
-                nbytes = min(sizes[i], 8)
-                # Offload to the PISC: always for atomics; for plain
-                # update-function writes only when the pad is remote
-                # (a local owner-write is cheaper done by the core).
-                if atomic or (use_pisc and (f & FLAG_UPDATE) and not local):
-                    if atomic:
-                        stats.atomics_total += 1
-                    if use_pisc:
-                        # Fire-and-forget offload: the core only pays
-                        # the issue cost; the op runs on the home PISC.
-                        if atomic:
-                            stats.atomics_offloaded += 1
-                        stats.pisc_ops += 1
-                        serial[core] += offload_issue
-                        occupancy[home] += piscs[home].execute(vertex)
-                        if local:
-                            stats.sp_local_accesses += 1
-                        else:
-                            stats.sp_remote_accesses += 1
-                            crossbar.word_transfer(nbytes, core, home)
-                            stats.onchip_word_bytes += nbytes + header
-                        continue
-                    # Scratchpads without PISC: the core performs the
-                    # RMW itself over word-granularity SP accesses.
-                    stats.atomics_on_cores += 1
-                    lat = float(sp_lat * 2)  # read + write
-                    if local:
-                        stats.sp_local_accesses += 1
-                    else:
-                        stats.sp_remote_accesses += 1
-                        lat += 2 * crossbar.transfer_latency(core, home)
-                        crossbar.word_transfer(nbytes, core, home)
-                        crossbar.word_transfer(nbytes, home, core)
-                        stats.onchip_word_bytes += 2 * (nbytes + header)
-                    serial[core] += lat * atomic_ser + atomic_stall
-                    mem_lat[core] += lat * (1.0 - atomic_ser)
-                    continue
-
-                if (
-                    srcbufs is not None
-                    and (f & FLAG_SRC_READ)
-                    and not write
-                    and not local
-                ):
-                    if srcbufs[core].lookup(addrs[i]):
-                        stats.srcbuf_hits += 1
-                        mem_lat[core] += 1.0
-                        continue
-                # Plain scratchpad read/write.
-                lat = float(sp_lat)
-                if local:
-                    stats.sp_local_accesses += 1
-                    stats.sp_plain_local += 1
-                else:
-                    stats.sp_remote_accesses += 1
-                    stats.sp_plain_remote += 1
-                    lat += crossbar.transfer_latency(core, home)
-                    crossbar.word_transfer(nbytes, core, home)
-                    stats.onchip_word_bytes += nbytes + header
-                mem_lat[core] += lat
-                continue
-
-            # Cache path (cold vtxProp, edgeList, nGraphData).
-            latency = access(core, addrs[i], write)
-            if atomic:
-                stats.atomics_total += 1
-                stats.atomics_on_cores += 1
-                serial[core] += latency * atomic_ser + atomic_stall
-                mem_lat[core] += latency * (1.0 - atomic_ser)
-            else:
-                mem_lat[core] += latency
-
-        return ReplayOutput(
-            stats=stats,
-            dram=dram,
-            crossbar=crossbar,
-            l1s=system.l1s,
-            l2_banks=system.l2_banks,
-            directory=system.directory,
-            srcbufs=srcbufs,
-            piscs=piscs,
-        )
+__all__ = ["ReplayOutput", "BaselineHierarchy", "OmegaHierarchy", "_CacheSystem"]
