@@ -24,6 +24,7 @@ from repro.algorithms.radii import run_radii
 from repro.algorithms.sssp import run_sssp
 from repro.algorithms.tc import run_tc
 from repro.ligra.atomics import AtomicOp
+from repro.obs import get_tracer
 
 __all__ = ["AlgorithmInfo", "ALGORITHMS", "algorithm_names", "run_algorithm"]
 
@@ -172,6 +173,13 @@ def run_algorithm(
     if info.requires_weights and not graph.weighted:
         raise SimulationError(f"{info.display_name} requires edge weights")
     runner = _RUNNERS[name]
-    return runner(
-        graph, num_cores=num_cores, chunk_size=chunk_size, trace=trace, **kwargs
-    )
+    with get_tracer().span(
+        "algorithm", cat="ligra", algorithm=name,
+        vertices=graph.num_vertices, edges=graph.num_edges,
+    ) as span:
+        result = runner(
+            graph, num_cores=num_cores, chunk_size=chunk_size, trace=trace,
+            **kwargs,
+        )
+        span.annotate(iterations=result.iterations)
+    return result

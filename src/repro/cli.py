@@ -4,10 +4,17 @@ Usage::
 
     python -m repro datasets
     python -m repro run --dataset lj --algorithm pagerank --system omega
+    python -m repro run --dataset lj --trace-out trace.json \
+        --metrics-out timeline.json --manifest run.json
     python -m repro compare --dataset lj --algorithm pagerank
     python -m repro sweep --algorithms pagerank,bfs --datasets sd,lj
+    python -m repro report old-manifest.json new-manifest.json
 
 All numbers come from the same drivers the benchmark harness uses.
+
+Exit codes: 0 success, 1 check/regression failure (``validate``,
+``report``), 2 usage error (unknown dataset/algorithm/backend, bad
+manifest), each reported as a one-line ``error:`` message on stderr.
 """
 
 from __future__ import annotations
@@ -16,8 +23,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.config import SimConfig
 from repro.errors import ReproError
+from repro.obs import LOG_LEVELS, configure_logging
 
 __all__ = ["main", "build_parser"]
 
@@ -27,6 +36,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OMEGA heterogeneous-memory-subsystem reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="logging verbosity for the repro.* loggers",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -59,6 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the per-run JSON manifest to PATH",
     )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the run's phases to"
+             " PATH (open in Perfetto or chrome://tracing)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the windowed replay timeline to PATH"
+             " (columnar JSON, or CSV when PATH ends in .csv)",
+    )
+    run.add_argument(
+        "--obs-window",
+        metavar="N",
+        type=int,
+        default=None,
+        help="sample replay counters every N trace events"
+             " (default: auto-size to ~64 windows when --metrics-out"
+             " is given)",
+    )
 
     cmp = sub.add_parser("compare", help="baseline vs OMEGA on one workload")
     _workload_args(cmp)
@@ -70,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated dataset names")
     sweep.add_argument("--scale", type=float, default=1.0,
                        help="dataset scale multiplier")
+
+    report = sub.add_parser(
+        "report",
+        help="diff two run manifests; exit 1 if a tracked metric"
+             " regressed beyond tolerance",
+    )
+    report.add_argument("old", help="baseline manifest JSON path")
+    report.add_argument("new", help="candidate manifest JSON path")
+    report.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed relative regression per metric (default 0.05)",
+    )
     return parser
 
 
@@ -148,10 +201,17 @@ def _cmd_run(args) -> int:
     report = run_system(
         graph, args.algorithm, config,
         dataset=spec.name, backend=backend, manifest_path=args.manifest,
+        trace_path=args.trace_out, timeline_path=args.metrics_out,
+        obs_window=args.obs_window,
     )
 
     for key, value in report.summary().items():
         print(f"{key}: {value}")
+    if report.timeline is not None and args.metrics_out:
+        print(f"timeline: {report.timeline.num_windows} windows"
+              f" -> {args.metrics_out}")
+    if args.trace_out:
+        print(f"trace: {args.trace_out}")
     return 0
 
 
@@ -194,9 +254,20 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs import diff_manifests, format_report, load_manifest
+
+    old = load_manifest(args.old)
+    new = load_manifest(args.new)
+    result = diff_manifests(old, new, tolerance=args.tolerance)
+    print(format_report(result, args.tolerance), end="")
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     try:
         if args.command == "datasets":
             return _cmd_datasets()
@@ -208,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

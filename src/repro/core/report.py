@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.config import SimConfig
 from repro.errors import SimulationError
@@ -11,8 +13,14 @@ from repro.memsim.core_model import TimingResult
 from repro.memsim.energy import EnergyBreakdown
 from repro.memsim.hierarchy import ReplayOutput
 from repro.memsim.stats import MemStats
+from repro.obs.timeline import Timeline
 
-__all__ = ["SimReport", "Comparison"]
+__all__ = ["SimReport", "Comparison", "MANIFEST_SCHEMA"]
+
+#: Current manifest schema tag. v2 added the ``telemetry`` block
+#: (windowed-timeline summary percentiles; ``None`` when the run was
+#: not sampled).
+MANIFEST_SCHEMA = "omega-repro/run-manifest/v2"
 
 
 @dataclass
@@ -37,6 +45,8 @@ class SimReport:
     backend: str = ""
     #: Replay wall-clock time (host seconds, not simulated time).
     replay_seconds: float = 0.0
+    #: Windowed replay timeline, when the run was sampled.
+    timeline: Optional[Timeline] = field(repr=False, default=None)
 
     @property
     def cycles(self) -> float:
@@ -94,10 +104,22 @@ class SimReport:
 
     def save_json(self, path) -> None:
         """Write :meth:`to_dict` as pretty-printed JSON."""
-        import json
-
         with open(path, "w") as f:
             json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+
+    def telemetry(self) -> Optional[Dict]:
+        """Manifest telemetry block: timeline summary, or ``None``.
+
+        Summarizes the windowed time series as percentiles — compact
+        enough to diff across runs without shipping every window.
+        """
+        if self.timeline is None:
+            return None
+        return {
+            "window_events": self.timeline.window_events,
+            "num_windows": self.timeline.num_windows,
+            "summary": self.timeline.summary(),
+        }
 
     def manifest(self) -> Dict:
         """Per-run manifest: what ran, on what machine description.
@@ -109,7 +131,7 @@ class SimReport:
         """
         events = self.trace_events
         return {
-            "schema": "omega-repro/run-manifest/v1",
+            "schema": MANIFEST_SCHEMA,
             "system": self.system,
             "backend": self.backend,
             "algorithm": self.algorithm,
@@ -141,6 +163,7 @@ class SimReport:
             },
             "energy_nj": self.energy.as_dict(),
             "event_counts": self.stats.as_dict(),
+            "telemetry": self.telemetry(),
         }
 
     def save_manifest(self, path) -> None:
@@ -149,9 +172,6 @@ class SimReport:
         Parent directories are created on demand so ``--manifest
         results/manifests/run.json`` works on a fresh checkout.
         """
-        import json
-        import os
-
         parent = os.path.dirname(os.fspath(path))
         if parent:
             os.makedirs(parent, exist_ok=True)

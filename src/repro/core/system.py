@@ -27,6 +27,7 @@ DRAM bandwidth improvement, energy saving).
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Optional
 
@@ -50,6 +51,13 @@ from repro.memsim.engine import (
 )
 from repro.memsim.mapping import ScratchpadMapping
 from repro.memsim.scratchpad import hot_capacity_for
+from repro.obs import (
+    ReplaySampler,
+    SpanTracer,
+    get_registry,
+    get_tracer,
+    use_tracer,
+)
 
 __all__ = [
     "run_system",
@@ -58,6 +66,8 @@ __all__ = [
     "run_graphpim",
     "DEFAULT_CHUNK_SIZE",
 ]
+
+_LOG = logging.getLogger("repro.core.system")
 
 #: Default OpenMP-schedule chunk (and matching scratchpad-mapping chunk).
 DEFAULT_CHUNK_SIZE = 32
@@ -98,6 +108,9 @@ def run_system(
     backend: Optional[str] = None,
     pim=None,
     manifest_path=None,
+    trace_path=None,
+    timeline_path=None,
+    obs_window: Optional[int] = None,
     **alg_kwargs,
 ) -> SimReport:
     """Run one algorithm on one graph through one system configuration.
@@ -139,6 +152,21 @@ def run_system(
     manifest_path:
         When given, write the run manifest
         (:meth:`~repro.core.report.SimReport.manifest`) as JSON there.
+    trace_path:
+        When given, record nested phase spans (graph reorder → trace
+        generation → per-edgeMap sweeps → replay windows) and write
+        them as Chrome trace-event JSON there (viewable in Perfetto).
+        A tracer already installed via
+        :func:`repro.obs.use_tracer` is reused instead.
+    timeline_path:
+        When given, sample the replay every ``obs_window`` events and
+        write the windowed metrics timeline there (columnar JSON, or
+        CSV when the path ends in ``.csv``). The timeline's percentile
+        summary is attached to the run manifest either way.
+    obs_window:
+        Replay sampling window in trace events. ``None`` disables
+        sampling unless ``timeline_path`` is given; 0 auto-sizes for
+        about 64 windows.
     alg_kwargs:
         Extra arguments for the algorithm runner (source vertex, etc.).
     """
@@ -152,75 +180,112 @@ def run_system(
     # so runs with and without reordering traverse the same workload.
     if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
         alg_kwargs["source"] = default_source(graph)
-    work_graph = graph
-    if reorder:
-        work_graph, new_ids = reorder_nth_element(graph, key="in")
-        if "source" in alg_kwargs and alg_kwargs["source"] is not None:
-            alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
 
-    result: AlgorithmResult = run_algorithm(
-        algorithm,
-        work_graph,
-        num_cores=config.core.num_cores,
-        chunk_size=chunk_size,
-        trace=True,
-        **alg_kwargs,
+    # Observability setup: reuse an installed tracer, or spin up a
+    # private one when a trace file was requested; sample the replay
+    # when a timeline file or an explicit window was requested.
+    tracer = get_tracer()
+    if trace_path is not None and not tracer.enabled:
+        tracer = SpanTracer()
+    sampler = None
+    if timeline_path is not None or obs_window is not None:
+        sampler = ReplaySampler(obs_window or 0)
+    _LOG.info(
+        "run_system: algorithm=%s dataset=%s backend=%s cores=%d",
+        algorithm, dataset or "?", backend_name, config.core.num_cores,
     )
-    trace = result.trace
-    # vtxProp address ranges: the spatially-random regions the hybrid
-    # DRAM page policy serves close-page (Section IX direction 3).
-    vtx_ranges = [
-        (p.start_addr, p.region.end) for p in result.engine.vtx_props
-    ]
 
-    hot_capacity = 0
-    mapping = None
-    if backend_name in _HOT_SET_BACKENDS:
-        sp_bytes = config.scratchpad_total_bytes
-        if backend_name == "locked" and not sp_bytes:
-            # The locked region repurposes half the on-chip storage,
-            # exactly like OMEGA's scratchpads.
-            sp_bytes = config.total_onchip_bytes // 2
-        hot_capacity = hot_capacity_for(
-            sp_bytes,
-            result.engine.vtxprop_bytes_per_vertex(),
-            work_graph.num_vertices,
-        )
-        if backend_name != "dynamic":
-            mapping = ScratchpadMapping(
+    with use_tracer(tracer), tracer.span(
+        "run_system", cat="run", algorithm=algorithm, dataset=dataset,
+        backend=backend_name,
+    ):
+        work_graph = graph
+        if reorder:
+            with tracer.span("reorder", cat="run", key="in"):
+                work_graph, new_ids = reorder_nth_element(graph, key="in")
+            if "source" in alg_kwargs and alg_kwargs["source"] is not None:
+                alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
+
+        with tracer.span("trace_generation", cat="run") as gen_span:
+            result: AlgorithmResult = run_algorithm(
+                algorithm,
+                work_graph,
                 num_cores=config.core.num_cores,
-                hot_capacity=hot_capacity,
-                chunk_size=(
-                    sp_chunk_size if sp_chunk_size is not None else chunk_size
-                ),
+                chunk_size=chunk_size,
+                trace=True,
+                **alg_kwargs,
             )
+            trace = result.trace
+            gen_span.annotate(events=trace.num_events)
+        _LOG.debug("trace generated: %d events", trace.num_events)
+        # vtxProp address ranges: the spatially-random regions the hybrid
+        # DRAM page policy serves close-page (Section IX direction 3).
+        vtx_ranges = [
+            (p.start_addr, p.region.end) for p in result.engine.vtx_props
+        ]
 
-    microcode = None
-    if backend_name in ("omega", "dynamic") and config.use_pisc:
-        microcode = microcode_for_algorithm(algorithm)
+        with tracer.span("prepare_backend", cat="run", backend=backend_name):
+            hot_capacity = 0
+            mapping = None
+            if backend_name in _HOT_SET_BACKENDS:
+                sp_bytes = config.scratchpad_total_bytes
+                if backend_name == "locked" and not sp_bytes:
+                    # The locked region repurposes half the on-chip
+                    # storage, exactly like OMEGA's scratchpads.
+                    sp_bytes = config.total_onchip_bytes // 2
+                hot_capacity = hot_capacity_for(
+                    sp_bytes,
+                    result.engine.vtxprop_bytes_per_vertex(),
+                    work_graph.num_vertices,
+                )
+                if backend_name != "dynamic":
+                    mapping = ScratchpadMapping(
+                        num_cores=config.core.num_cores,
+                        hot_capacity=hot_capacity,
+                        chunk_size=(
+                            sp_chunk_size if sp_chunk_size is not None
+                            else chunk_size
+                        ),
+                    )
 
-    if backend_name == "baseline":
-        hierarchy = BaselineBackend(config, dram_random_ranges=vtx_ranges)
-    elif backend_name == "omega":
-        hierarchy = OmegaBackend(
-            config, mapping, microcode, dram_random_ranges=vtx_ranges
-        )
-    elif backend_name == "locked":
-        hierarchy = LockedCacheBackend(config, mapping)
-    elif backend_name == "graphpim":
-        hierarchy = GraphPimBackend(config, pim)
-    elif backend_name == "dynamic":
-        hierarchy = DynamicScratchpadBackend(config, hot_capacity, microcode)
-    else:
-        # Extension backends take just the config.
-        hierarchy = backend_cls(config)
+            microcode = None
+            if backend_name in ("omega", "dynamic") and config.use_pisc:
+                microcode = microcode_for_algorithm(algorithm)
 
-    replay_start = time.perf_counter()
-    output = hierarchy.replay(trace)
-    replay_seconds = time.perf_counter() - replay_start
-    timing = compute_timing(output, config)
-    model = energy_model or EnergyModel()
-    energy = model.breakdown(output.stats)
+            if backend_name == "baseline":
+                hierarchy = BaselineBackend(
+                    config, dram_random_ranges=vtx_ranges
+                )
+            elif backend_name == "omega":
+                hierarchy = OmegaBackend(
+                    config, mapping, microcode, dram_random_ranges=vtx_ranges
+                )
+            elif backend_name == "locked":
+                hierarchy = LockedCacheBackend(config, mapping)
+            elif backend_name == "graphpim":
+                hierarchy = GraphPimBackend(config, pim)
+            elif backend_name == "dynamic":
+                hierarchy = DynamicScratchpadBackend(
+                    config, hot_capacity, microcode
+                )
+            else:
+                # Extension backends take just the config.
+                hierarchy = backend_cls(config)
+
+        replay_start = time.perf_counter()
+        output = hierarchy.replay(trace, sampler=sampler)
+        replay_seconds = time.perf_counter() - replay_start
+        with tracer.span("timing_energy", cat="run"):
+            timing = compute_timing(output, config)
+            model = energy_model or EnergyModel()
+            energy = model.breakdown(output.stats)
+
+    timeline = None
+    if sampler is not None:
+        timeline = sampler.timeline()
+        registry = get_registry()
+        if registry.enabled:
+            timeline.metrics = registry.snapshot()
 
     n = work_graph.num_vertices
     report = SimReport(
@@ -239,7 +304,21 @@ def run_system(
         trace_events=trace.num_events,
         backend=backend_name,
         replay_seconds=replay_seconds,
+        timeline=timeline,
     )
+    _LOG.info(
+        "run complete: %.0f cycles, bottleneck=%s, replay %.3fs",
+        timing.total_cycles, timing.bottleneck, replay_seconds,
+    )
+    if trace_path is not None:
+        tracer.export_chrome(trace_path)
+        _LOG.info("wrote Chrome trace to %s", trace_path)
+    if timeline_path is not None and timeline is not None:
+        timeline.save(timeline_path)
+        _LOG.info(
+            "wrote %d-window timeline to %s",
+            timeline.num_windows, timeline_path,
+        )
     if manifest_path is not None:
         report.save_manifest(manifest_path)
     return report

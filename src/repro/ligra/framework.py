@@ -23,11 +23,13 @@ frontiers. The engine
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import TraceError
+from repro.obs import get_registry, get_tracer
 from repro.graph.csr import CSRGraph
 from repro.ligra.props import VertexProp, alloc_prop, alloc_struct_props
 from repro.ligra.trace import (
@@ -40,6 +42,8 @@ from repro.ligra.trace import (
 from repro.ligra.vertex_subset import VertexSubset
 
 __all__ = ["LigraEngine", "EdgeMapStats"]
+
+_LOG = logging.getLogger("repro.ligra.framework")
 
 #: Apply callback signature: (srcs, dsts, weights_or_None) -> changed vertex ids.
 ApplyFn = Callable[[np.ndarray, np.ndarray, Optional[np.ndarray]], np.ndarray]
@@ -302,24 +306,40 @@ class LigraEngine:
         else:
             dense = direction == "in"
 
-        if dense:
-            changed = self._edge_map_dense(
-                frontier, apply_fn, src_props, dst_props, use_weights
-            )
-            self.stats.dense_calls += 1
-        else:
-            changed = self._edge_map_sparse(
-                frontier, apply_fn, src_props, dst_props, use_weights
-            )
-            self.stats.sparse_calls += 1
+        edges_before = self.stats.edges_processed
+        with get_tracer().span(
+            "edge_map", cat="ligra", call=self.stats.edge_map_calls,
+            mode="dense" if dense else "sparse", frontier_size=len(frontier),
+        ) as span:
+            if dense:
+                changed = self._edge_map_dense(
+                    frontier, apply_fn, src_props, dst_props, use_weights
+                )
+                self.stats.dense_calls += 1
+            else:
+                changed = self._edge_map_sparse(
+                    frontier, apply_fn, src_props, dst_props, use_weights
+                )
+                self.stats.sparse_calls += 1
 
-        if not remove_duplicates:
-            changed = np.sort(changed)
-        result = VertexSubset(graph.num_vertices, ids=changed)
-        self._record_active_list_update(result, output)
-        # Each edgeMap step ends an iteration: source-vertex properties
-        # may change afterwards, so the source buffers invalidate here.
-        self.trace_builder.mark_barrier()
+            if not remove_duplicates:
+                changed = np.sort(changed)
+            result = VertexSubset(graph.num_vertices, ids=changed)
+            self._record_active_list_update(result, output)
+            # Each edgeMap step ends an iteration: source-vertex
+            # properties may change afterwards, so the source buffers
+            # invalidate here.
+            self.trace_builder.mark_barrier()
+            edges = self.stats.edges_processed - edges_before
+            span.annotate(edges=edges, changed=len(result))
+        metrics = get_registry()
+        metrics.counter("ligra.edge_map_calls").inc()
+        metrics.counter("ligra.edges_processed").inc(edges)
+        _LOG.debug(
+            "edge_map #%d: %s, |frontier|=%d, %d edges, %d changed",
+            self.stats.edge_map_calls, "dense" if dense else "sparse",
+            len(frontier), edges, len(result),
+        )
         return result
 
     def mark_iteration(self) -> None:
@@ -507,32 +527,39 @@ class LigraEngine:
         """
         self.stats.vertex_map_calls += 1
         ids = subset.to_sparse()
-        tb = self.trace_builder
-        if tb.enabled and len(ids):
-            positions = np.arange(len(ids), dtype=np.int64)
-            cores = self.cores_for_positions(positions, len(ids))
-            for prop in read_props:
-                tb.append(
-                    cores,
-                    prop.addr(ids),
-                    prop.type_size,
-                    self.space.classify(prop.start_addr),
-                    vertex=ids,
-                )
-            for prop in write_props:
-                tb.append(
-                    cores,
-                    prop.addr(ids),
-                    prop.type_size,
-                    self.space.classify(prop.start_addr),
-                    write=True,
-                    vertex=ids,
-                )
-        kept = fn(ids) if fn is not None else None
-        result_ids = ids if kept is None else np.asarray(kept, dtype=np.int64)
-        result = VertexSubset(self.graph.num_vertices, ids=result_ids)
-        if output != "none":
-            self._record_active_list_update(result, output)
+        get_registry().counter("ligra.vertex_map_calls").inc()
+        with get_tracer().span(
+            "vertex_map", cat="ligra", call=self.stats.vertex_map_calls,
+            size=len(ids),
+        ):
+            tb = self.trace_builder
+            if tb.enabled and len(ids):
+                positions = np.arange(len(ids), dtype=np.int64)
+                cores = self.cores_for_positions(positions, len(ids))
+                for prop in read_props:
+                    tb.append(
+                        cores,
+                        prop.addr(ids),
+                        prop.type_size,
+                        self.space.classify(prop.start_addr),
+                        vertex=ids,
+                    )
+                for prop in write_props:
+                    tb.append(
+                        cores,
+                        prop.addr(ids),
+                        prop.type_size,
+                        self.space.classify(prop.start_addr),
+                        write=True,
+                        vertex=ids,
+                    )
+            kept = fn(ids) if fn is not None else None
+            result_ids = (
+                ids if kept is None else np.asarray(kept, dtype=np.int64)
+            )
+            result = VertexSubset(self.graph.num_vertices, ids=result_ids)
+            if output != "none":
+                self._record_active_list_update(result, output)
         return result
 
     # ------------------------------------------------------------------

@@ -28,6 +28,8 @@ latency sums differ only by float-summation order (≪1e-9 relative).
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Type
 
@@ -36,6 +38,8 @@ import numpy as np
 from repro.config import SimConfig
 from repro.errors import SimulationError
 from repro.ligra.trace import Trace
+from repro.obs import get_registry, get_tracer
+from repro.obs.timeline import ReplaySampler
 from repro.memsim.cache import Cache
 from repro.memsim.coherence import Directory
 from repro.memsim.dram import DramModel
@@ -70,6 +74,12 @@ __all__ = [
     "ROUTE_LOCKED",
     "ROUTE_PIM",
 ]
+
+_LOG = logging.getLogger("repro.memsim.engine")
+
+#: Sentinel route value outside every backend's code space; the
+#: windowed replay masks out-of-window events with it.
+_ROUTE_MASKED = np.int8(-1)
 
 # Route codes assigned by HierarchyBackend.route, one per trace event.
 ROUTE_CACHE = 0        #: L1 → L2 → DRAM (the stateful loop)
@@ -885,55 +895,149 @@ class HierarchyBackend:
         """Post-accounting fixups (e.g. fold PIM occupancy)."""
 
     # -- the engine ----------------------------------------------------
-    def replay(self, trace: Trace) -> ReplayOutput:
-        """Replay ``trace``: pre-pass, route, cache stage, accounting."""
-        trace = trace.interleaved()
-        config = self.config
-        ncores = config.core.num_cores
-        stats = MemStats(num_cores=ncores)
-        dram = DramModel(config.dram)
-        dram.set_random_ranges(self.dram_random_ranges)
-        crossbar = Crossbar(config.interconnect, ncores)
-        system = _CacheSystem(config, stats, dram, crossbar)
-        if self.force_scalar_cache:
-            system.fast_path_ok = False
-        ctx = ReplayContext(
-            config=config, stats=stats, dram=dram, crossbar=crossbar,
-            system=system, ncores=ncores,
-        )
-        self.prepare(ctx)
-        prepass = precompute(trace, config, mapping=self.prepass_mapping())
-        routes = self.route(ctx, trace, prepass)
+    def replay(self, trace: Trace,
+               sampler: Optional[ReplaySampler] = None) -> ReplayOutput:
+        """Replay ``trace``: pre-pass, route, cache stage, accounting.
 
-        cache_idx = np.flatnonzero(routes == ROUTE_CACHE)
-        if len(cache_idx):
-            system.replay_cache_path(
-                trace.core[cache_idx],
-                trace.addr[cache_idx],
-                prepass.lines[cache_idx],
-                prepass.banks[cache_idx],
-                prepass.bank_keys[cache_idx],
-                prepass.write[cache_idx],
-                prepass.atomic[cache_idx],
-                stats.core_mem_latency,
-                stats.core_serial_cycles,
+        ``sampler`` (a :class:`repro.obs.ReplaySampler`) switches the
+        cache stage and the batch accounting to windowed execution:
+        every N events the cumulative counters are snapshotted into a
+        timeline row. The stateful cache system persists across
+        windows and per-route event order is unchanged, so all integer
+        counters are identical to the unwindowed replay; per-core
+        latency sums differ only by float-summation order.
+        """
+        tracer = get_tracer()
+        metrics = get_registry()
+        with tracer.span("replay", cat="replay", backend=self.name,
+                         events=trace.num_events) as replay_span:
+            with tracer.span("interleave", cat="replay"):
+                trace = trace.interleaved()
+            config = self.config
+            ncores = config.core.num_cores
+            stats = MemStats(num_cores=ncores)
+            dram = DramModel(config.dram)
+            dram.set_random_ranges(self.dram_random_ranges)
+            crossbar = Crossbar(config.interconnect, ncores)
+            system = _CacheSystem(config, stats, dram, crossbar)
+            if self.force_scalar_cache:
+                system.fast_path_ok = False
+            ctx = ReplayContext(
+                config=config, stats=stats, dram=dram, crossbar=crossbar,
+                system=system, ncores=ncores,
             )
-        self.account(ctx, trace, prepass, routes)
-        counts = np.bincount(
-            np.asarray(trace.core, dtype=np.int64), minlength=ncores
+            self.prepare(ctx)
+            with tracer.span("prepass", cat="replay"):
+                prepass = precompute(
+                    trace, config, mapping=self.prepass_mapping()
+                )
+            with tracer.span("route", cat="replay"):
+                routes = self.route(ctx, trace, prepass)
+
+            cache_idx = np.flatnonzero(routes == ROUTE_CACHE)
+            metrics.counter("replay.events").inc(prepass.num_events)
+            metrics.counter("replay.cache_events").inc(len(cache_idx))
+            metrics.counter("replay.offchip_routed_events").inc(
+                prepass.num_events - len(cache_idx)
+            )
+            if sampler is not None and prepass.num_events:
+                self._replay_windowed(
+                    ctx, trace, prepass, routes, cache_idx, sampler, tracer
+                )
+                replay_span.annotate(windows=sampler.timeline().num_windows)
+            else:
+                with tracer.span("cache_path", cat="replay",
+                                 events=len(cache_idx)):
+                    if len(cache_idx):
+                        system.replay_cache_path(
+                            trace.core[cache_idx],
+                            trace.addr[cache_idx],
+                            prepass.lines[cache_idx],
+                            prepass.banks[cache_idx],
+                            prepass.bank_keys[cache_idx],
+                            prepass.write[cache_idx],
+                            prepass.atomic[cache_idx],
+                            stats.core_mem_latency,
+                            stats.core_serial_cycles,
+                        )
+                with tracer.span("account", cat="replay"):
+                    self.account(ctx, trace, prepass, routes)
+            counts = np.bincount(
+                np.asarray(trace.core, dtype=np.int64), minlength=ncores
+            )
+            stats.core_accesses = [int(x) for x in counts]
+            self.finalize(ctx)
+            _LOG.debug(
+                "replayed %d events through %s (%d cache-routed,"
+                " l2 hit rate %.4f)",
+                prepass.num_events, self.name, len(cache_idx),
+                stats.l2_hit_rate,
+            )
+            return ReplayOutput(
+                stats=stats,
+                dram=dram,
+                crossbar=crossbar,
+                l1s=system.l1s,
+                l2_banks=system.l2_banks,
+                directory=system.directory,
+                srcbufs=ctx.srcbufs,
+                piscs=ctx.piscs,
+            )
+
+    def _replay_windowed(
+        self,
+        ctx: ReplayContext,
+        trace: Trace,
+        prepass: TracePrepass,
+        routes: np.ndarray,
+        cache_idx: np.ndarray,
+        sampler: ReplaySampler,
+        tracer,
+    ) -> None:
+        """Windowed cache stage + accounting for timeline sampling.
+
+        Each window replays its cache-routed slice through the shared
+        stateful system and batch-accounts its non-cache routes via a
+        masked copy of the route array (out-of-window events carry
+        ``_ROUTE_MASKED``, which matches no route code), then snapshots
+        the cumulative counters into the sampler. Accounting performed
+        during :meth:`route` (e.g. source-buffer hits) lands in the
+        first window's row.
+        """
+        n = prepass.num_events
+        core = ctx.config.core
+        window = sampler.begin(
+            n, ctx.ncores, core.compute_cycles_per_access, core.mlp,
+            core.imbalance_factor, core.freq_ghz,
         )
-        stats.core_accesses = [int(x) for x in counts]
-        self.finalize(ctx)
-        return ReplayOutput(
-            stats=stats,
-            dram=dram,
-            crossbar=crossbar,
-            l1s=system.l1s,
-            l2_banks=system.l2_banks,
-            directory=system.directory,
-            srcbufs=ctx.srcbufs,
-            piscs=ctx.piscs,
-        )
+        stats = ctx.stats
+        system = ctx.system
+        masked = np.full(n, _ROUTE_MASKED, dtype=np.int8)
+        lo = 0
+        while lo < n:
+            hi = min(lo + window, n)
+            wall_start = time.perf_counter()
+            with tracer.span("window", cat="replay", start_event=lo,
+                             end_event=hi):
+                ci_lo, ci_hi = np.searchsorted(cache_idx, (lo, hi))
+                sub = cache_idx[ci_lo:ci_hi]
+                if len(sub):
+                    system.replay_cache_path(
+                        trace.core[sub],
+                        trace.addr[sub],
+                        prepass.lines[sub],
+                        prepass.banks[sub],
+                        prepass.bank_keys[sub],
+                        prepass.write[sub],
+                        prepass.atomic[sub],
+                        stats.core_mem_latency,
+                        stats.core_serial_cycles,
+                    )
+                masked[lo:hi] = routes[lo:hi]
+                self.account(ctx, trace, prepass, masked)
+                masked[lo:hi] = _ROUTE_MASKED
+            sampler.record(lo, hi, stats, time.perf_counter() - wall_start)
+            lo = hi
 
 
 #: Registry of backend names → classes (the pluggable surface).

@@ -79,6 +79,11 @@ class MemStats:
         return self.l2_hits + self.l2_misses
 
     @property
+    def l1_hit_rate(self) -> float:
+        """L1 hit rate in [0, 1] (0.0 on zero-access runs)."""
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
     def l2_hit_rate(self) -> float:
         """L2 (last-level cache) hit rate in [0, 1]."""
         return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
@@ -111,6 +116,12 @@ class MemStats:
         return hits / beyond_l1 if beyond_l1 else 0.0
 
     @property
+    def atomics_offload_share(self) -> float:
+        """Fraction of atomics executed at the pads (0.0 when none ran)."""
+        total = self.atomics_total
+        return self.atomics_offloaded / total if total else 0.0
+
+    @property
     def onchip_traffic_bytes(self) -> int:
         """All bytes moved across the crossbar (Fig 17 metric)."""
         return self.onchip_line_bytes + self.onchip_word_bytes
@@ -127,6 +138,7 @@ class MemStats:
             "l1_misses": self.l1_misses,
             "l2_hits": self.l2_hits,
             "l2_misses": self.l2_misses,
+            "l1_hit_rate": self.l1_hit_rate,
             "l2_hit_rate": self.l2_hit_rate,
             "last_level_hit_rate": self.last_level_hit_rate,
             "sp_local": self.sp_local_accesses,

@@ -1,0 +1,43 @@
+"""Structured logging for the repro package.
+
+Library modules log through ``logging.getLogger("repro.<area>")`` and
+never configure handlers themselves; entry points (the CLI, notebook
+users) call :func:`configure_logging` once to pick a level and a
+consistent line format. The default CLI level is ``warning``, which
+keeps prior behaviour (silence) for clean runs while letting
+``--log-level info`` narrate phase progress and ``debug`` expose
+per-stage routing/accounting detail.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_logging", "LOG_LEVELS"]
+
+#: Accepted ``--log-level`` names, in increasing verbosity.
+LOG_LEVELS = ("critical", "error", "warning", "info", "debug")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def configure_logging(level: str = "warning") -> None:
+    """Configure the ``repro`` logger tree to emit at ``level``.
+
+    Installs one stream handler on the ``repro`` root logger
+    (idempotent: reconfiguring replaces the level, not the handler),
+    leaving the application's own root logger untouched.
+    """
+    name = str(level).lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {', '.join(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, name.upper()))
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        logger.addHandler(handler)
+    logger.propagate = False

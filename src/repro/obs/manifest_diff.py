@@ -1,0 +1,194 @@
+"""Manifest diffing: the regression gate behind ``repro report``.
+
+Every run can write a JSON manifest (:meth:`SimReport.manifest`)
+recording what ran and what it measured. Since all tracked metrics are
+*simulated* quantities — cycle counts, hit rates, traffic — they are
+deterministic for a given (code, workload, config) triple, so two
+manifests from the same workload diff meaningfully across commits,
+machines, and CI runs. ``repro report old.json new.json`` compares the
+tracked metrics and exits nonzero when any of them regresses beyond a
+relative tolerance, which is what benchmark jobs gate on.
+
+Host-time metrics (``replay.seconds``, ``events_per_second``) are
+deliberately *not* tracked: they vary with the machine and would make
+the gate flaky.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TRACKED_METRICS",
+    "MetricDelta",
+    "DiffResult",
+    "load_manifest",
+    "diff_manifests",
+    "format_report",
+]
+
+#: Direction markers: does a larger value mean a *better* run?
+HIGHER_IS_BETTER = "higher"
+LOWER_IS_BETTER = "lower"
+
+#: (dotted manifest path, direction) for every gated metric.
+TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("timing.total_cycles", LOWER_IS_BETTER),
+    ("event_counts.l2_hit_rate", HIGHER_IS_BETTER),
+    ("event_counts.last_level_hit_rate", HIGHER_IS_BETTER),
+    ("event_counts.onchip_traffic_bytes", LOWER_IS_BETTER),
+    ("event_counts.dram_bytes", LOWER_IS_BETTER),
+    ("energy_nj.total", LOWER_IS_BETTER),
+)
+
+#: Identity fields that must match for a diff to be apples-to-apples.
+_CONTEXT_FIELDS = ("algorithm", "dataset", "backend", "system")
+
+
+def load_manifest(path) -> Dict:
+    """Read and minimally validate a run-manifest JSON file."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as exc:
+        raise ReproError(f"cannot read manifest {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ReproError(f"{path} is not a manifest (expected an object)")
+    schema = doc.get("schema", "")
+    if not str(schema).startswith("omega-repro/run-manifest/"):
+        raise ReproError(
+            f"{path} is not a run manifest (schema={schema!r});"
+            " expected omega-repro/run-manifest/v*"
+        )
+    return doc
+
+
+def _lookup(doc: Dict, dotted: str) -> Optional[float]:
+    """Resolve ``"a.b.c"`` inside a nested dict; None when absent."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+@dataclass
+class MetricDelta:
+    """Old-vs-new comparison of one tracked metric."""
+
+    name: str
+    direction: str
+    old: Optional[float]
+    new: Optional[float]
+    #: Relative change (new - old) / old; None when undefined.
+    rel_change: Optional[float]
+    #: Beyond-tolerance change in the *bad* direction.
+    regressed: bool
+    #: Beyond-tolerance change in the *good* direction.
+    improved: bool
+
+    @property
+    def status(self) -> str:
+        """One-word verdict for table rendering."""
+        if self.old is None or self.new is None:
+            return "missing"
+        if self.regressed:
+            return "REGRESSED"
+        if self.improved:
+            return "improved"
+        return "ok"
+
+
+@dataclass
+class DiffResult:
+    """Outcome of diffing two manifests."""
+
+    deltas: List[MetricDelta]
+    #: (field, old value, new value) identity mismatches (warnings).
+    mismatches: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        """The metrics that regressed beyond tolerance."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no regressions)."""
+        return not self.regressions
+
+
+def _compare(name: str, direction: str, old: Optional[float],
+             new: Optional[float], tolerance: float) -> MetricDelta:
+    if old is None or new is None:
+        return MetricDelta(name, direction, old, new, None, False, False)
+    if old == 0:
+        rel = 0.0 if new == 0 else float("inf")
+    else:
+        rel = (new - old) / abs(old)
+    if direction == LOWER_IS_BETTER:
+        regressed = rel > tolerance
+        improved = rel < -tolerance
+    else:
+        regressed = rel < -tolerance
+        improved = rel > tolerance
+    return MetricDelta(name, direction, old, new, rel, regressed, improved)
+
+
+def diff_manifests(old: Dict, new: Dict, tolerance: float = 0.05,
+                   metrics: Sequence[Tuple[str, str]] = TRACKED_METRICS,
+                   ) -> DiffResult:
+    """Compare two loaded manifests over the tracked metrics.
+
+    ``tolerance`` is the relative change allowed in the bad direction
+    before a metric counts as regressed (0.05 = 5%).
+    """
+    if tolerance < 0:
+        raise ReproError(f"tolerance must be >= 0, got {tolerance}")
+    deltas = [
+        _compare(name, direction, _lookup(old, name), _lookup(new, name),
+                 tolerance)
+        for name, direction in metrics
+    ]
+    mismatches = [
+        (fld, str(old.get(fld, "")), str(new.get(fld, "")))
+        for fld in _CONTEXT_FIELDS
+        if old.get(fld, "") != new.get(fld, "")
+    ]
+    return DiffResult(deltas=deltas, mismatches=mismatches)
+
+
+def format_report(result: DiffResult, tolerance: float) -> str:
+    """Human-readable diff table (one line per tracked metric)."""
+    lines = []
+    for fld, old_v, new_v in result.mismatches:
+        lines.append(
+            f"warning: comparing different runs: {fld}"
+            f" {old_v!r} vs {new_v!r}"
+        )
+    header = f"{'metric':40} {'old':>14} {'new':>14} {'change':>9} status"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for d in result.deltas:
+        old_s = "-" if d.old is None else f"{d.old:.6g}"
+        new_s = "-" if d.new is None else f"{d.new:.6g}"
+        rel_s = "-" if d.rel_change is None else f"{d.rel_change:+.2%}"
+        lines.append(
+            f"{d.name:40} {old_s:>14} {new_s:>14} {rel_s:>9} {d.status}"
+        )
+    n_reg = len(result.regressions)
+    if n_reg:
+        lines.append(
+            f"FAIL: {n_reg} metric(s) regressed beyond"
+            f" {tolerance:.1%} tolerance"
+        )
+    else:
+        lines.append(f"OK: no metric regressed beyond {tolerance:.1%}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,286 @@
+"""Metrics primitives: counters, gauges, histograms, and the registry.
+
+The instrumentation contract mirrors what production metric libraries
+(prometheus_client, OpenTelemetry) expose, shrunk to the three
+instrument kinds the simulator needs and kept dependency-free:
+
+- :class:`Counter` — monotonically increasing event tally,
+- :class:`Gauge` — last-written value (phase sizes, rates),
+- :class:`Histogram` — raw observations with percentile summaries.
+
+Instruments are owned by a :class:`MetricsRegistry`. The process-wide
+default registry is a :class:`NullRegistry` whose instruments are
+shared no-op singletons, so instrumented code pays one dict lookup and
+one no-op call when metrics are disabled — hot loops should hoist the
+instrument lookup out of the loop, at which point the disabled cost is
+a single C-level method call per update.
+
+Enable collection either globally (:func:`set_registry`) or for a
+scope (:func:`use_registry`)::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        run_system(...)
+    print(reg.snapshot())
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "percentile",
+    "summarize",
+]
+
+#: Percentiles reported by histogram/series summaries (manifest block).
+SUMMARY_PERCENTILES = (5, 25, 50, 75, 95)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of ``values`` (p in [0, 100]).
+
+    Matches ``numpy.percentile``'s default method without requiring the
+    input to already be a numpy array.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("percentile of an empty sequence")
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[int(rank)]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def summarize(values: Sequence[float],
+              percentiles: Iterable[int] = SUMMARY_PERCENTILES) -> Dict[str, float]:
+    """Percentile + mean/min/max summary of a series (empty-safe)."""
+    data = [float(v) for v in values]
+    if not data:
+        return {"count": 0}
+    out: Dict[str, float] = {
+        "count": len(data),
+        "mean": sum(data) / len(data),
+        "min": min(data),
+        "max": max(data),
+    }
+    for p in percentiles:
+        out[f"p{p}"] = percentile(data, p)
+    return out
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} increment < 0: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta`` (may be negative)."""
+        self.value += float(delta)
+
+
+class Histogram:
+    """Raw-sample histogram with percentile summaries.
+
+    Keeps every observation (the simulator's series are short —
+    per-window or per-phase, not per-event), which keeps the summary
+    exact instead of bucketed.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return len(self.values)
+
+    def summary(self) -> Dict[str, float]:
+        """Percentile/mean summary of the observations."""
+        return summarize(self.values)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    values: List[float] = []
+    count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Namespace of instruments, created on first use.
+
+    Instrument names are free-form dotted paths
+    (``"replay.events_routed"``); asking for the same name twice
+    returns the same instrument, and asking for a name already held by
+    a different instrument kind raises ``ValueError``.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as"
+                f" {type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All instruments, grouped by kind, as plain JSON-able data."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.value
+            else:
+                histograms[name] = inst.summary()  # type: ignore[union-attr]
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled default: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The process-wide disabled registry (the default).
+NULL_REGISTRY = NullRegistry()
+
+_current_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed registry (no-op by default)."""
+    return _current_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` globally; ``None`` restores the null one.
+
+    Returns the previously installed registry so callers can restore
+    it (or use :func:`use_registry` for scoped installation).
+    """
+    global _current_registry
+    previous = _current_registry
+    _current_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Context manager: install ``registry`` for the enclosed scope."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,257 @@
+"""Windowed replay metrics: phase-resolved time series of a run.
+
+End-of-run aggregates hide *when* things happen: the LLC hit rate of a
+PageRank iteration collapses during the scatter phase and recovers in
+the vertexMap, DRAM bandwidth spikes when the frontier densifies, and
+the paper's Figures 4-5 and 15-17 are exactly such phase-resolved
+views. The :class:`ReplaySampler` recovers that lens from the replay
+engine: every N trace events it snapshots the cumulative counters and
+emits one *window* — per-level hit rates, on-chip traffic bytes, DRAM
+traffic/bandwidth, scratchpad and PISC offload counts — into a
+columnar :class:`Timeline`.
+
+The timeline exports as columnar JSON (or CSV when the output path
+ends in ``.csv``) and summarizes each rate column into percentiles for
+the run manifest's ``telemetry`` block, which is what
+``repro report`` diffs between runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import summarize
+
+__all__ = ["ReplaySampler", "Timeline", "TIMELINE_SCHEMA"]
+
+#: Schema tag written into every timeline JSON document.
+TIMELINE_SCHEMA = "omega-repro/timeline/v1"
+
+#: Default number of windows when ``window_events`` is 0 (auto).
+AUTO_WINDOWS = 64
+
+#: Columns summarized into percentiles for the manifest telemetry block.
+SUMMARY_COLUMNS = (
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "last_level_hit_rate",
+    "dram_gbps",
+    "onchip_traffic_bytes",
+    "dram_bytes",
+    "sp_offloads",
+)
+
+#: Column order of the timeline (also the CSV header order).
+COLUMNS = (
+    "window",
+    "start_event",
+    "end_event",
+    "events",
+    "wall_seconds",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "last_level_hit_rate",
+    "onchip_traffic_bytes",
+    "dram_read_bytes",
+    "dram_write_bytes",
+    "dram_bytes",
+    "dram_gbps",
+    "sp_accesses",
+    "sp_offloads",
+    "srcbuf_hits",
+    "atomics",
+    "approx_cycles",
+)
+
+
+class Timeline:
+    """A finished windowed time series (column name → list of values)."""
+
+    def __init__(self, columns: Dict[str, List], window_events: int) -> None:
+        self.columns = columns
+        self.window_events = window_events
+        #: Optional metrics-registry snapshot bundled into the JSON form.
+        self.metrics: Optional[Dict] = None
+
+    @property
+    def num_windows(self) -> int:
+        """Number of sampled windows."""
+        return len(self.columns.get("window", ()))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Percentile summaries of the rate columns (manifest block)."""
+        return {
+            name: summarize(self.columns[name])
+            for name in SUMMARY_COLUMNS
+            if name in self.columns
+        }
+
+    def to_dict(self) -> Dict:
+        """Full JSON-able document (schema, columns, summary)."""
+        doc = {
+            "schema": TIMELINE_SCHEMA,
+            "window_events": self.window_events,
+            "num_windows": self.num_windows,
+            "columns": self.columns,
+            "summary": self.summary(),
+        }
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics
+        return doc
+
+    def save(self, path) -> None:
+        """Write the timeline to ``path``.
+
+        ``*.csv`` writes one row per window with a header; anything
+        else writes the columnar JSON document. Parent directories are
+        created on demand.
+        """
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if path.endswith(".csv"):
+            names = [c for c in COLUMNS if c in self.columns]
+            with open(path, "w", newline="") as f:
+                writer = csv.writer(f)
+                writer.writerow(names)
+                for i in range(self.num_windows):
+                    writer.writerow([self.columns[c][i] for c in names])
+        else:
+            with open(path, "w") as f:
+                json.dump(self.to_dict(), f, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "Timeline":
+        """Load a timeline previously written as JSON."""
+        with open(path) as f:
+            doc = json.load(f)
+        timeline = cls(doc["columns"], doc.get("window_events", 0))
+        timeline.metrics = doc.get("metrics")
+        return timeline
+
+
+#: Cumulative MemStats fields snapshotted at every window boundary.
+_STAT_FIELDS = (
+    "l1_hits",
+    "l1_misses",
+    "l2_hits",
+    "l2_misses",
+    "sp_local_accesses",
+    "sp_remote_accesses",
+    "srcbuf_hits",
+    "pisc_ops",
+    "atomics_total",
+    "onchip_line_bytes",
+    "onchip_word_bytes",
+    "dram_read_bytes",
+    "dram_write_bytes",
+)
+
+
+class ReplaySampler:
+    """Samples replay counters every ``window_events`` trace events.
+
+    The replay engine drives it: :meth:`begin` once with the total
+    event count and the core-model parameters, then :meth:`record`
+    after each window with the cumulative stats object. The sampler
+    differences consecutive snapshots, so it works with any backend
+    that accounts into a ``MemStats``-shaped object — it never touches
+    engine internals.
+
+    ``window_events=0`` (the default) auto-sizes the window so a run
+    produces about :data:`AUTO_WINDOWS` windows.
+    """
+
+    def __init__(self, window_events: int = 0) -> None:
+        if window_events < 0:
+            raise ValueError(
+                f"window_events must be >= 0, got {window_events}"
+            )
+        self.window_events = window_events
+        self._prev: Dict[str, float] = {}
+        self._core_params: Dict[str, float] = {}
+        self._columns: Dict[str, List] = {name: [] for name in COLUMNS}
+
+    def begin(self, total_events: int, ncores: int,
+              compute_cycles_per_access: float, mlp: float,
+              imbalance_factor: float, freq_ghz: float) -> int:
+        """Resolve the window size for ``total_events`` and reset state.
+
+        Returns the resolved window size (in events).
+        """
+        if self.window_events == 0:
+            self.window_events = max(1, -(-total_events // AUTO_WINDOWS))
+        self._core_params = {
+            "ncores": max(1, ncores),
+            "cpa": compute_cycles_per_access,
+            "mlp": max(mlp, 1e-12),
+            "imbalance": imbalance_factor,
+            "freq_ghz": freq_ghz,
+        }
+        self._prev = {name: 0 for name in _STAT_FIELDS}
+        self._prev["mem_latency"] = 0.0
+        self._prev["serial_cycles"] = 0.0
+        return self.window_events
+
+    def record(self, start_event: int, end_event: int, stats,
+               wall_seconds: float) -> None:
+        """Close one window: difference the cumulative ``stats``."""
+        snap = {name: getattr(stats, name) for name in _STAT_FIELDS}
+        snap["mem_latency"] = float(sum(stats.core_mem_latency))
+        snap["serial_cycles"] = float(sum(stats.core_serial_cycles))
+        delta = {k: snap[k] - self._prev[k] for k in snap}
+        self._prev = snap
+
+        events = end_event - start_event
+        l1_acc = delta["l1_hits"] + delta["l1_misses"]
+        l2_acc = delta["l2_hits"] + delta["l2_misses"]
+        sp_acc = delta["sp_local_accesses"] + delta["sp_remote_accesses"]
+        beyond_l1 = l2_acc + sp_acc + delta["srcbuf_hits"]
+        ll_hits = delta["l2_hits"] + sp_acc + delta["srcbuf_hits"]
+        onchip = delta["onchip_line_bytes"] + delta["onchip_word_bytes"]
+        dram_bytes = delta["dram_read_bytes"] + delta["dram_write_bytes"]
+
+        p = self._core_params
+        # The timing model's balanced-cores bound, applied to this
+        # window's deltas: a phase-local cycle estimate that turns the
+        # window's DRAM bytes into a Fig-16-style bandwidth figure.
+        cycles = (
+            (events * p["cpa"] + delta["serial_cycles"]
+             + delta["mem_latency"] / p["mlp"])
+            / p["ncores"] * p["imbalance"]
+        )
+        seconds = cycles / (p["freq_ghz"] * 1e9) if cycles > 0 else 0.0
+        dram_gbps = dram_bytes / seconds / 1e9 if seconds > 0 else 0.0
+
+        row = {
+            "window": len(self._columns["window"]),
+            "start_event": start_event,
+            "end_event": end_event,
+            "events": events,
+            "wall_seconds": wall_seconds,
+            "l1_hit_rate": delta["l1_hits"] / l1_acc if l1_acc else 0.0,
+            "l2_hit_rate": delta["l2_hits"] / l2_acc if l2_acc else 0.0,
+            "last_level_hit_rate": (
+                ll_hits / beyond_l1 if beyond_l1 else 0.0
+            ),
+            "onchip_traffic_bytes": onchip,
+            "dram_read_bytes": delta["dram_read_bytes"],
+            "dram_write_bytes": delta["dram_write_bytes"],
+            "dram_bytes": dram_bytes,
+            "dram_gbps": dram_gbps,
+            "sp_accesses": sp_acc,
+            "sp_offloads": delta["pisc_ops"],
+            "srcbuf_hits": delta["srcbuf_hits"],
+            "atomics": delta["atomics_total"],
+            "approx_cycles": cycles,
+        }
+        for name, value in row.items():
+            self._columns[name].append(value)
+
+    def timeline(self) -> Timeline:
+        """The finished :class:`Timeline` (valid once replay completes)."""
+        return Timeline(self._columns, self.window_events)

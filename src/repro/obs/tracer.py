@@ -1,0 +1,253 @@
+"""Nested-span tracing with Chrome trace-event export.
+
+A *span* is a named, timed phase of a run: graph build, trace
+generation, the replay pre-pass, one edgeMap sweep, one replay window.
+Spans nest — opening a span inside another records the parent/depth —
+and the finished tree exports as Chrome trace-event JSON, directly
+loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Like the metrics registry, the process-wide default tracer is a no-op
+singleton, so instrumented code costs one function call and one
+``None`` check per phase when tracing is disabled. Phases are
+coarse-grained (calls per edgeMap, not per memory event), so even an
+enabled tracer adds only microseconds per span.
+
+Usage::
+
+    from repro.obs import SpanTracer, use_tracer
+
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        run_system(...)
+    tracer.export_chrome("trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    #: Trace-event category (coarse phase family: "run", "ligra",
+    #: "replay", ...).
+    cat: str
+    #: Start time in microseconds since the tracer's epoch.
+    start_us: float
+    #: Duration in microseconds.
+    dur_us: float
+    #: Nesting depth at open time (root spans are depth 1).
+    depth: int
+    #: Index of the parent span in the tracer's record list, -1 for roots.
+    parent: int
+    #: Free-form annotations, shown in the trace viewer's args pane.
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        """End time in microseconds since the tracer's epoch."""
+        return self.start_us + self.dur_us
+
+
+class _OpenSpan:
+    """Context-manager handle for an in-flight span."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start", "_index")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str,
+                 args: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._start = 0.0
+        self._index = -1
+
+    def annotate(self, **kwargs) -> None:
+        """Attach extra args to the span (e.g. results known at exit)."""
+        self.args.update(kwargs)
+
+    def __enter__(self) -> "_OpenSpan":
+        self._start = self._tracer._clock()
+        self._index = self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self, self._tracer._clock())
+
+
+class SpanTracer:
+    """Records nested spans and exports them as Chrome trace events.
+
+    Single-threaded by design (the simulator models parallelism, it
+    does not use it): nesting is tracked with one open-span stack.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._clock = time.perf_counter
+        self._stack: List[int] = []
+        self.records: List[SpanRecord] = []
+        self.max_depth = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records anything (null tracer: False)."""
+        return True
+
+    def span(self, name: str, cat: str = "run", **args) -> _OpenSpan:
+        """Open a span; use as a context manager."""
+        return _OpenSpan(self, name, cat, dict(args))
+
+    # -- span lifecycle (driven by _OpenSpan) --------------------------
+    def _open(self, span: _OpenSpan) -> int:
+        index = len(self.records)
+        depth = len(self._stack) + 1
+        parent = self._stack[-1] if self._stack else -1
+        self.records.append(
+            SpanRecord(
+                name=span.name,
+                cat=span.cat,
+                start_us=(span._start - self._epoch) * 1e6,
+                dur_us=0.0,
+                depth=depth,
+                parent=parent,
+                args=span.args,
+            )
+        )
+        self._stack.append(index)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        return index
+
+    def _close(self, span: _OpenSpan, end: float) -> None:
+        record = self.records[span._index]
+        record.dur_us = (end - self._epoch) * 1e6 - record.start_us
+        # Tolerate out-of-order exits (exceptions unwinding several
+        # spans): pop until this span's frame is closed.
+        while self._stack:
+            if self._stack.pop() == span._index:
+                break
+
+    # -- export --------------------------------------------------------
+    def to_chrome(self) -> Dict[str, object]:
+        """The trace as a Chrome trace-event ``traceEvents`` document.
+
+        Every span becomes one complete ("X") event on a single
+        process/thread; viewers reconstruct nesting from timestamp
+        containment, and ``args`` carries the explicit depth/parent
+        for offline consumers.
+        """
+        events = []
+        for i, r in enumerate(self.records):
+            args = dict(r.args)
+            args["depth"] = r.depth
+            args["parent"] = r.parent
+            events.append(
+                {
+                    "name": r.name,
+                    "cat": r.cat,
+                    "ph": "X",
+                    "ts": r.start_us,
+                    "dur": r.dur_us,
+                    "pid": 0,
+                    "tid": 0,
+                    "id": i,
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.SpanTracer"},
+        }
+
+    def export_chrome(self, path) -> None:
+        """Write :meth:`to_chrome` as JSON (parents created on demand)."""
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(self.to_chrome(), f, indent=1)
+
+
+class _NullSpan:
+    """Shared no-op span handle."""
+
+    __slots__ = ()
+
+    def annotate(self, **kwargs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled default tracer: every span is a shared no-op."""
+
+    enabled = False
+    records: List[SpanRecord] = []
+    max_depth = 0
+
+    def span(self, name: str, cat: str = "run", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def to_chrome(self) -> Dict[str, object]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+#: The process-wide disabled tracer (the default).
+NULL_TRACER = NullTracer()
+
+_current_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The currently installed tracer (no-op by default)."""
+    return _current_tracer
+
+
+def set_tracer(tracer: Optional[SpanTracer]):
+    """Install ``tracer`` globally; ``None`` restores the null tracer.
+
+    Returns the previously installed tracer.
+    """
+    global _current_tracer
+    previous = _current_tracer
+    _current_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Context manager: install ``tracer`` for the enclosed scope."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

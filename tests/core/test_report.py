@@ -46,6 +46,55 @@ class TestSimReport:
         assert 0.0 <= report.timing.memory_bound_fraction <= 1.0
 
 
+class TestManifest:
+    REQUIRED_KEYS = {
+        "schema", "system", "backend", "algorithm", "dataset", "config",
+        "workload", "replay", "timing", "energy_nj", "event_counts",
+        "telemetry",
+    }
+
+    def test_manifest_round_trip(self, report, tmp_path):
+        path = tmp_path / "manifest.json"
+        report.save_manifest(path)
+        loaded = json.loads(path.read_text())
+        assert self.REQUIRED_KEYS <= set(loaded)
+        assert loaded["schema"] == "omega-repro/run-manifest/v2"
+        assert loaded == report.manifest()
+
+    def test_manifest_is_loadable_by_diff_tool(self, report, tmp_path):
+        from repro.obs import diff_manifests, load_manifest
+
+        path = tmp_path / "manifest.json"
+        report.save_manifest(path)
+        doc = load_manifest(path)
+        assert diff_manifests(doc, doc).ok
+
+    def test_unsampled_run_has_null_telemetry(self, report):
+        assert report.manifest()["telemetry"] is None
+
+    def test_sampled_run_attaches_telemetry(self, tmp_path):
+        from repro.graph.generators import rmat_graph as _rmat
+
+        g = _rmat(7, edge_factor=6, seed=5)
+        sampled = run_system(
+            g, "pagerank", SimConfig.scaled_baseline(num_cores=4),
+            dataset="t", obs_window=0,
+        )
+        block = sampled.manifest()["telemetry"]
+        assert block["num_windows"] == sampled.timeline.num_windows
+        assert block["window_events"] == sampled.timeline.window_events
+        assert set(block["summary"]) <= {
+            "l1_hit_rate", "l2_hit_rate", "last_level_hit_rate",
+            "dram_gbps", "onchip_traffic_bytes", "dram_bytes",
+            "sp_offloads",
+        }
+
+    def test_manifest_creates_parent_dirs(self, report, tmp_path):
+        path = tmp_path / "a" / "b" / "manifest.json"
+        report.save_manifest(path)
+        assert path.exists()
+
+
 class TestComparisonReport:
     @pytest.fixture(scope="class")
     def cmp(self):

@@ -197,7 +197,7 @@ class TestManifest:
             manifest_path=path,
         )
         data = json.loads(path.read_text())
-        assert data["schema"] == "omega-repro/run-manifest/v1"
+        assert data["schema"] == "omega-repro/run-manifest/v2"
         assert data["backend"] == "omega"
         assert data["dataset"] == "rmat7"
         assert data["config"]["hash"] == config.config_hash()
@@ -205,6 +205,8 @@ class TestManifest:
         assert data["replay"]["events_per_second"] > 0
         assert data["timing"]["total_cycles"] == report.cycles
         assert "event_counts" in data
+        # Unsampled runs still carry the telemetry key (as null).
+        assert data["telemetry"] is None
 
     def test_config_hash_stable_and_sensitive(self):
         a = SimConfig.scaled_omega()

@@ -161,8 +161,30 @@ class TestStats:
 
     def test_as_dict_complete(self):
         d = MemStats(num_cores=1).as_dict()
+        assert "l1_hit_rate" in d
         assert "l2_hit_rate" in d
         assert "atomics_offloaded" in d
+
+    def test_ratios_safe_on_zero_access_run(self):
+        s = MemStats(num_cores=1)
+        assert s.l1_hit_rate == 0.0
+        assert s.l2_hit_rate == 0.0
+        assert s.last_level_hit_rate == 0.0
+        assert s.sp_plain_remote_share == 0.0
+        assert s.atomics_offload_share == 0.0
+        # as_dict must also be total-function on an empty run.
+        assert s.as_dict()["l1_hit_rate"] == 0.0
+
+    def test_l1_hit_rate(self):
+        s = MemStats(num_cores=1)
+        s.l1_hits, s.l1_misses = 75, 25
+        assert s.l1_hit_rate == pytest.approx(0.75)
+
+    def test_atomics_offload_share(self):
+        s = MemStats(num_cores=1)
+        s.atomics_total = 10
+        s.atomics_offloaded = 4
+        assert s.atomics_offload_share == pytest.approx(0.4)
 
 
 class TestEnergyScaling:

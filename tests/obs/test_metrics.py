@@ -1,0 +1,116 @@
+"""Tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    set_registry,
+    summarize,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("replay.events")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("frontier")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7.0
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["p50"] == pytest.approx(50.5)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+
+class TestRegistryGlobals:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_null_instruments_are_noops(self):
+        c = NULL_REGISTRY.counter("anything")
+        c.inc(10)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_use_registry_scopes_installation(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert get_registry() is reg
+            get_registry().counter("x").inc()
+        assert get_registry() is NULL_REGISTRY
+        assert reg.snapshot()["counters"]["x"] == 1
+
+    def test_set_registry_returns_previous(self):
+        reg = MetricsRegistry()
+        prev = set_registry(reg)
+        try:
+            assert prev is NULL_REGISTRY
+            assert get_registry() is reg
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+
+    def test_snapshot_groups_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestPercentiles:
+    def test_matches_numpy(self):
+        np = pytest.importorskip("numpy")
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for p in (0, 5, 25, 50, 75, 95, 100):
+            assert percentile(data, p) == pytest.approx(
+                float(np.percentile(data, p))
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summarize_empty_safe(self):
+        assert summarize([]) == {"count": 0}
+
+    def test_summarize_keys(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert {"p5", "p25", "p50", "p75", "p95"} <= set(s)

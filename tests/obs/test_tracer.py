@@ -1,0 +1,108 @@
+"""Tests for the span tracer and Chrome trace export."""
+
+import json
+
+from repro.obs import (
+    NULL_TRACER,
+    SpanTracer,
+    get_tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_nesting_records_depth_and_parent(self):
+        t = SpanTracer()
+        with t.span("outer"):
+            with t.span("mid"):
+                with t.span("inner"):
+                    pass
+        names = [r.name for r in t.records]
+        assert names == ["outer", "mid", "inner"]
+        assert [r.depth for r in t.records] == [1, 2, 3]
+        assert [r.parent for r in t.records] == [-1, 0, 1]
+        assert t.max_depth == 3
+
+    def test_siblings_share_parent(self):
+        t = SpanTracer()
+        with t.span("root"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        assert [r.parent for r in t.records] == [-1, 0, 0]
+        assert t.max_depth == 2
+
+    def test_durations_nonnegative_and_contained(self):
+        t = SpanTracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        outer, inner = t.records
+        assert inner.dur_us >= 0
+        assert inner.start_us >= outer.start_us
+        assert inner.end_us <= outer.end_us + 1e-3
+
+    def test_annotate_adds_args(self):
+        t = SpanTracer()
+        with t.span("phase", iteration=1) as s:
+            s.annotate(changed=7)
+        assert t.records[0].args == {"iteration": 1, "changed": 7}
+
+    def test_exception_unwinds_stack(self):
+        t = SpanTracer()
+        try:
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with t.span("after"):
+            pass
+        assert t.records[-1].depth == 1
+
+
+class TestChromeExport:
+    def test_complete_events(self):
+        t = SpanTracer()
+        with t.span("run", cat="run", backend="omega"):
+            with t.span("replay", cat="replay"):
+                pass
+        doc = t.to_chrome()
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert "depth" in e["args"] and "parent" in e["args"]
+        assert events[0]["args"]["backend"] == "omega"
+
+    def test_export_creates_parents(self, tmp_path):
+        t = SpanTracer()
+        with t.span("x"):
+            pass
+        path = tmp_path / "sub" / "dir" / "trace.json"
+        t.export_chrome(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["name"] == "x"
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestNullTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_noop(self):
+        with NULL_TRACER.span("anything") as s:
+            s.annotate(ignored=True)
+        assert NULL_TRACER.to_chrome()["traceEvents"] == []
+
+    def test_use_tracer_scopes_installation(self):
+        t = SpanTracer()
+        with use_tracer(t):
+            assert get_tracer() is t
+            with get_tracer().span("inside"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert t.records[0].name == "inside"

@@ -80,7 +80,68 @@ class TestCommands:
 
     def test_unknown_dataset_errors(self, capsys):
         assert main(["run", "--dataset", "facebook"]) == 2
-        assert "error" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unknown_backend_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--dataset", "sd", "--backend", "tpu"])
+        assert exc.value.code == 2
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--log-level", "shouty", "datasets"])
+        assert exc.value.code == 2
+
+
+class TestObservabilityFlags:
+    def test_run_writes_trace_and_timeline(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        timeline = tmp_path / "timeline.json"
+        code = main(["run", "--dataset", "sd", "--scale", "0.5",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(timeline)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out and "trace:" in out
+        doc = json.loads(trace.read_text())
+        assert max(e["args"]["depth"] for e in doc["traceEvents"]) >= 3
+        tl = json.loads(timeline.read_text())
+        assert tl["num_windows"] >= 10
+
+    def test_metrics_out_csv(self, tmp_path):
+        timeline = tmp_path / "timeline.csv"
+        assert main(["run", "--dataset", "sd", "--scale", "0.5",
+                     "--metrics-out", str(timeline)]) == 0
+        header = timeline.read_text().splitlines()[0]
+        assert header.startswith("window,")
+
+    def test_obs_window_controls_window_size(self, tmp_path):
+        import json
+
+        timeline = tmp_path / "timeline.json"
+        assert main(["run", "--dataset", "sd", "--scale", "0.5",
+                     "--metrics-out", str(timeline),
+                     "--obs-window", "1000"]) == 0
+        assert json.loads(timeline.read_text())["window_events"] == 1000
+
+    def test_report_identical_manifests(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert main(["run", "--dataset", "sd", "--scale", "0.5",
+                     "--manifest", str(manifest)]) == 0
+        assert main(["report", str(manifest), str(manifest)]) == 0
+        assert "OK" in capsys.readouterr().out
 
 
 class TestValidateCommand:
