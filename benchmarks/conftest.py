@@ -1,10 +1,22 @@
 """Shared infrastructure for the benchmark harness.
 
 Each ``bench_*.py`` file regenerates one of the paper's tables or
-figures. Comparisons are expensive, so a session-scoped cache shares
-(algorithm, dataset, config) runs across benchmarks, and every bench
-emits its rows both to stdout and to ``benchmarks/results/<name>.txt``
-so EXPERIMENTS.md can be assembled from the artifacts.
+figures. Comparisons are expensive, so caching happens at two levels:
+
+- a session-scoped in-memory cache shares finished
+  (algorithm, dataset, config) *reports* across benchmarks within one
+  pytest run, and
+- the persistent content-addressed trace store (:mod:`repro.store`)
+  shares *traces* across processes and invocations, so a repeated
+  ``pytest benchmarks/`` starts warm: only the replay stage re-runs.
+
+The store lives in ``benchmarks/.trace_cache`` by default; point
+``REPRO_CACHE_DIR`` somewhere else (e.g. a CI cache path) to relocate
+it, or set ``REPRO_BENCH_NO_CACHE=1`` to disable persistence.
+
+Every bench emits its rows both to stdout and to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be assembled
+from the artifacts.
 
 Run with::
 
@@ -13,6 +25,7 @@ Run with::
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Dict, Optional, Tuple
 
@@ -25,6 +38,18 @@ from repro.bench.runner import bench_graph
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Persistent trace-store root shared by every benchmark process.
+TRACE_CACHE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR", str(pathlib.Path(__file__).parent / ".trace_cache")
+)
+
+
+def _bench_cache():
+    """run_system ``cache`` argument for benchmark runs."""
+    if os.environ.get("REPRO_BENCH_NO_CACHE"):
+        return False
+    return TRACE_CACHE_DIR
+
 
 def emit(name: str, text: str) -> None:
     """Print a result block and persist it under benchmarks/results/."""
@@ -35,7 +60,13 @@ def emit(name: str, text: str) -> None:
 
 
 class ComparisonCache:
-    """Session-wide cache of simulation runs keyed by workload+config."""
+    """Session-wide cache of simulation runs keyed by workload+config.
+
+    Finished reports are memoized in-process; the underlying traces
+    are additionally persisted in the shared trace store, so a fresh
+    pytest process skips trace generation for every workload a
+    previous invocation already ran.
+    """
 
     def __init__(self) -> None:
         self._runs: Dict[Tuple, SimReport] = {}
@@ -78,6 +109,7 @@ class ComparisonCache:
                 weighted=info.requires_weights,
                 undirected=info.requires_undirected,
             )
+            kwargs.setdefault("cache", _bench_cache())
             self._runs[key] = run_system(
                 graph, algorithm, config, dataset=dataset, **kwargs
             )

@@ -1,5 +1,14 @@
 """Benchmark-harness helpers: dataset cache, sweeps, table printers."""
 
+from repro.bench.parallel import (
+    SWEEP_ROW_FIELDS,
+    SweepTask,
+    build_grid,
+    run_sweep,
+    run_task,
+    save_rows_csv,
+    save_rows_json,
+)
 from repro.bench.runner import (
     BENCH_SCALE,
     FIG14_WORKLOADS,
@@ -14,8 +23,15 @@ __all__ = [
     "BENCH_SCALE",
     "FIG14_WORKLOADS",
     "PAGERANK_DATASETS",
+    "SWEEP_ROW_FIELDS",
+    "SweepTask",
     "bench_graph",
+    "build_grid",
     "run_comparison",
+    "run_sweep",
+    "run_task",
+    "save_rows_csv",
+    "save_rows_json",
     "sweep",
     "format_table",
     "print_heatmap",

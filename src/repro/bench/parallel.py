@@ -1,0 +1,246 @@
+"""Process-parallel sweep executor.
+
+A sweep is a (datasets × algorithms × backends) grid of independent
+:func:`repro.core.system.run_system` calls. Each run is pure Python and
+GIL-bound, so the executor fans the grid across a
+:class:`concurrent.futures.ProcessPoolExecutor`; workers deduplicate
+the expensive trace-generation stage through the shared persistent
+trace store (:mod:`repro.store`) — the first worker to need a trace
+generates and caches it, everyone else loads it.
+
+Determinism: results are returned in task order regardless of worker
+completion order, every simulated counter is a pure function of the
+task (synthetic datasets are seeded), and host-time fields are clearly
+separated — so a 4-worker sweep and a serial sweep produce identical
+rows apart from timings.
+
+The ``repro sweep`` CLI subcommand is a thin veneer over
+:func:`run_sweep`; library users can build custom grids with
+:func:`build_grid` or hand-rolled :class:`SweepTask` lists.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "SweepTask",
+    "build_grid",
+    "run_sweep",
+    "run_task",
+    "save_rows_json",
+    "save_rows_csv",
+    "SWEEP_ROW_FIELDS",
+]
+
+#: Column order for CSV export (and the stable key order of row dicts).
+SWEEP_ROW_FIELDS = (
+    "dataset",
+    "algorithm",
+    "backend",
+    "scale",
+    "num_cores",
+    "cycles",
+    "l2_hit_rate",
+    "last_level_hit_rate",
+    "onchip_traffic_bytes",
+    "dram_bytes",
+    "energy_nj",
+    "trace_events",
+    "trace_bytes",
+    "trace_cache",
+    "replay_seconds",
+    "run_seconds",
+)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of a sweep grid."""
+
+    dataset: str
+    algorithm: str
+    backend: str
+    scale: float = 1.0
+    num_cores: int = 16
+    chunk_size: int = 32
+
+
+def build_grid(
+    datasets: Sequence[str],
+    algorithms: Sequence[str],
+    backends: Sequence[str],
+    scale: float = 1.0,
+    num_cores: int = 16,
+    chunk_size: int = 32,
+) -> List[SweepTask]:
+    """The full (datasets × algorithms × backends) grid, datasets-major.
+
+    The ordering is deterministic and matches the nesting of the
+    ``repro sweep`` output table.
+    """
+    return [
+        SweepTask(
+            dataset=d, algorithm=a, backend=b, scale=scale,
+            num_cores=num_cores, chunk_size=chunk_size,
+        )
+        for a in algorithms
+        for d in datasets
+        for b in backends
+    ]
+
+
+def run_task(task: SweepTask, cache=None) -> Dict:
+    """Execute one sweep cell and flatten the report into a row dict.
+
+    Module-level (and taking only picklable arguments) so it can cross
+    a process boundary; ``cache`` follows
+    :func:`repro.store.resolve_store` semantics but must be a path or
+    ``None``/``False`` when used with worker processes.
+    """
+    import time
+
+    from repro.algorithms.registry import ALGORITHMS
+    from repro.core.system import default_backend_config, run_system
+    from repro.graph.datasets import load_dataset
+
+    info = ALGORITHMS.get(task.algorithm)
+    if info is None:
+        raise SimulationError(
+            f"unknown algorithm {task.algorithm!r};"
+            f" available: {', '.join(ALGORITHMS)}"
+        )
+    start = time.perf_counter()
+    graph, _spec = load_dataset(
+        task.dataset, scale=task.scale, weighted=info.requires_weights
+    )
+    if info.requires_undirected and graph.directed:
+        graph = graph.as_undirected()
+    config = default_backend_config(task.backend, num_cores=task.num_cores)
+    report = run_system(
+        graph,
+        task.algorithm,
+        config,
+        dataset=task.dataset,
+        backend=task.backend,
+        chunk_size=task.chunk_size,
+        cache=cache,
+    )
+    run_seconds = time.perf_counter() - start
+    cache_state = "off"
+    if report.trace_cache and report.trace_cache.get("enabled"):
+        cache_state = "hit" if report.trace_cache.get("hit") else "miss"
+    return {
+        "dataset": task.dataset,
+        "algorithm": task.algorithm,
+        "backend": task.backend,
+        "scale": task.scale,
+        "num_cores": task.num_cores,
+        "cycles": report.cycles,
+        "l2_hit_rate": report.stats.l2_hit_rate,
+        "last_level_hit_rate": report.stats.last_level_hit_rate,
+        "onchip_traffic_bytes": report.stats.onchip_traffic_bytes,
+        "dram_bytes": report.stats.dram_bytes,
+        "energy_nj": report.energy.total_nj,
+        "trace_events": report.trace_events,
+        "trace_bytes": report.trace_bytes,
+        "trace_cache": cache_state,
+        "replay_seconds": report.replay_seconds,
+        "run_seconds": run_seconds,
+    }
+
+
+def _run_task_in_worker(payload) -> Dict:
+    """Worker-side shim: unpack ``(task dict, cache dir)``."""
+    task_dict, cache_dir = payload
+    return run_task(SweepTask(**task_dict), cache=cache_dir)
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    workers: int = 1,
+    cache=None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict]:
+    """Run a sweep grid, optionally across worker processes.
+
+    ``workers <= 1`` runs inline (no pool, easiest to debug);
+    ``workers > 1`` fans tasks across a ``ProcessPoolExecutor``. Rows
+    come back in task order either way. ``cache`` is a trace-store
+    directory (or ``None``/``False``); with multiple workers it must
+    be a filesystem path, since a live store object cannot cross a
+    process boundary — the shared directory is exactly how workers
+    deduplicate generation work.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        rows = []
+        for i, task in enumerate(tasks):
+            rows.append(run_task(task, cache=cache))
+            if progress is not None:
+                progress(
+                    f"[{i + 1}/{len(tasks)}] {task.algorithm}/{task.dataset}"
+                    f"/{task.backend}"
+                )
+        return rows
+
+    if cache is not None and cache is not False and not isinstance(
+        cache, (str, os.PathLike)
+    ):
+        raise SimulationError(
+            "run_sweep with workers > 1 needs a path-like cache"
+            " (a store object cannot cross process boundaries)"
+        )
+    cache_dir = os.fspath(cache) if cache not in (None, False) else cache
+    payloads = [(asdict(task), cache_dir) for task in tasks]
+    rows: List[Optional[Dict]] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        done = 0
+        # Ordered map keeps rows deterministic; chunksize 1 balances the
+        # grid's very uneven cell costs across workers.
+        for i, row in enumerate(pool.map(_run_task_in_worker, payloads)):
+            rows[i] = row
+            done += 1
+            if progress is not None:
+                task = tasks[i]
+                progress(
+                    f"[{done}/{len(tasks)}] {task.algorithm}/{task.dataset}"
+                    f"/{task.backend}"
+                )
+    return rows  # type: ignore[return-value]
+
+
+def save_rows_json(rows: Sequence[Dict], path) -> None:
+    """Write sweep rows as a JSON document (stable key order)."""
+    doc = {
+        "schema": "omega-repro/sweep-results/v1",
+        "rows": [
+            {k: row[k] for k in SWEEP_ROW_FIELDS if k in row} for row in rows
+        ],
+    }
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+
+
+def save_rows_csv(rows: Sequence[Dict], path) -> None:
+    """Write sweep rows as CSV with the :data:`SWEEP_ROW_FIELDS` columns."""
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(
+            f, fieldnames=list(SWEEP_ROW_FIELDS), extrasaction="ignore"
+        )
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

@@ -7,10 +7,14 @@ Usage::
     python -m repro run --dataset lj --trace-out trace.json \
         --metrics-out timeline.json --manifest run.json
     python -m repro compare --dataset lj --algorithm pagerank
-    python -m repro sweep --algorithms pagerank,bfs --datasets sd,lj
+    python -m repro sweep --algorithms pagerank,bfs --datasets sd,lj \
+        --backends baseline,omega --workers 4 --json-out sweep.json
     python -m repro report old-manifest.json new-manifest.json
 
 All numbers come from the same drivers the benchmark harness uses.
+``run``, ``compare`` and ``sweep`` consult the persistent trace store
+when ``--cache-dir`` (or ``REPRO_CACHE_DIR``) names one; ``--no-cache``
+bypasses it.
 
 Exit codes: 0 success, 1 check/regression failure (``validate``,
 ``report``), 2 usage error (unknown dataset/algorithm/backend, bad
@@ -101,16 +105,40 @@ def build_parser() -> argparse.ArgumentParser:
              " is given)",
     )
 
+    _cache_args(run)
+
     cmp = sub.add_parser("compare", help="baseline vs OMEGA on one workload")
     _workload_args(cmp)
+    _cache_args(cmp)
 
-    sweep = sub.add_parser("sweep", help="speedups across workloads (Fig 14 style)")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (datasets x algorithms x backends) grid, optionally"
+             " across worker processes (Fig 14 style)",
+    )
     sweep.add_argument("--algorithms", default="pagerank",
                        help="comma-separated algorithm names")
     sweep.add_argument("--datasets", default="lj",
                        help="comma-separated dataset names")
+    sweep.add_argument(
+        "--backends", default="baseline,omega",
+        help="comma-separated hierarchy backends (baseline, omega,"
+             " locked, graphpim, dynamic)",
+    )
     sweep.add_argument("--scale", type=float, default=1.0,
                        help="dataset scale multiplier")
+    sweep.add_argument("--cores", type=int, default=16,
+                       help="number of simulated cores")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = run inline); workers share the"
+             " trace store, so generation work is deduplicated",
+    )
+    sweep.add_argument("--json-out", metavar="PATH", default=None,
+                       help="write the sweep rows as JSON to PATH")
+    sweep.add_argument("--csv-out", metavar="PATH", default=None,
+                       help="write the sweep rows as CSV to PATH")
+    _cache_args(sweep)
 
     report = sub.add_parser(
         "report",
@@ -134,6 +162,25 @@ def _workload_args(sub: argparse.ArgumentParser) -> None:
                      help="dataset scale multiplier")
     sub.add_argument("--cores", type=int, default=16,
                      help="number of simulated cores")
+
+
+def _cache_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent trace-store directory (default: $REPRO_CACHE_DIR"
+             " when set, else caching is off)",
+    )
+    sub.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the trace store even when REPRO_CACHE_DIR is set",
+    )
+
+
+def _resolve_cache(args):
+    """Map --cache-dir/--no-cache onto run_system's ``cache`` argument."""
+    if args.no_cache:
+        return False
+    return args.cache_dir  # None -> ambient (REPRO_CACHE_DIR), path -> store
 
 
 def _load(dataset: str, algorithm: str, scale: float):
@@ -186,27 +233,23 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.core.system import run_system
+    from repro.core.system import default_backend_config, run_system
 
     graph, spec = _load(args.dataset, args.algorithm, args.scale)
     backend = args.backend or args.system
-    if backend in ("baseline", "graphpim"):
-        config = SimConfig.scaled_baseline(num_cores=args.cores)
-    elif backend == "locked":
-        config = SimConfig.scaled_omega(
-            num_cores=args.cores, use_pisc=False, use_source_buffer=False
-        )
-    else:  # omega, dynamic
-        config = SimConfig.scaled_omega(num_cores=args.cores)
+    config = default_backend_config(backend, num_cores=args.cores)
     report = run_system(
         graph, args.algorithm, config,
         dataset=spec.name, backend=backend, manifest_path=args.manifest,
         trace_path=args.trace_out, timeline_path=args.metrics_out,
-        obs_window=args.obs_window,
+        obs_window=args.obs_window, cache=_resolve_cache(args),
     )
 
     for key, value in report.summary().items():
         print(f"{key}: {value}")
+    if report.trace_cache and report.trace_cache.get("enabled"):
+        state = "hit" if report.trace_cache.get("hit") else "miss"
+        print(f"trace_cache: {state}")
     if report.timeline is not None and args.metrics_out:
         print(f"timeline: {report.timeline.num_windows} windows"
               f" -> {args.metrics_out}")
@@ -224,6 +267,7 @@ def _cmd_compare(args) -> int:
         baseline_config=SimConfig.scaled_baseline(num_cores=args.cores),
         omega_config=SimConfig.scaled_omega(num_cores=args.cores),
         dataset=spec.name,
+        cache=_resolve_cache(args),
     )
     for key, value in cmp.summary().items():
         print(f"{key}: {value}")
@@ -231,26 +275,83 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.bench.parallel import (
+        build_grid,
+        run_sweep,
+        save_rows_csv,
+        save_rows_json,
+    )
     from repro.bench.tables import format_table
-    from repro.core.system import compare_systems
+    from repro.memsim.engine import get_backend
 
-    rows = []
-    for algorithm in args.algorithms.split(","):
-        algorithm = algorithm.strip()
-        for dataset in args.datasets.split(","):
-            dataset = dataset.strip()
-            graph, spec = _load(dataset, algorithm, args.scale)
-            cmp = compare_systems(graph, algorithm, dataset=spec.name)
-            rows.append(
-                {
-                    "algorithm": algorithm,
-                    "dataset": dataset,
-                    "speedup": round(cmp.speedup, 2),
-                    "traffic x": round(cmp.traffic_reduction, 2),
-                    "energy x": round(cmp.energy_saving, 2),
-                }
-            )
-    print(format_table(rows, "OMEGA vs baseline sweep"), end="")
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    datasets = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if not algorithms or not datasets or not backends:
+        raise ReproError("sweep needs at least one algorithm, dataset"
+                         " and backend")
+    for name in backends:
+        get_backend(name)  # fail fast on unknown backend names
+    tasks = build_grid(
+        datasets, algorithms, backends,
+        scale=args.scale, num_cores=args.cores,
+    )
+    rows = run_sweep(
+        tasks, workers=args.workers, cache=_resolve_cache(args),
+    )
+
+    table = [
+        {
+            "algorithm": r["algorithm"],
+            "dataset": r["dataset"],
+            "backend": r["backend"],
+            "cycles": round(r["cycles"]),
+            "ll hit": round(r["last_level_hit_rate"], 4),
+            "dram bytes": r["dram_bytes"],
+            "energy nj": round(r["energy_nj"], 1),
+            "cache": r["trace_cache"],
+        }
+        for r in rows
+    ]
+    print(format_table(table, "backend sweep"), end="")
+
+    # When the grid contains the paper's baseline-vs-OMEGA pair, also
+    # print the headline ratios (the Fig 14 view of the same rows).
+    if "baseline" in backends and "omega" in backends:
+        by_cell = {
+            (r["algorithm"], r["dataset"], r["backend"]): r for r in rows
+        }
+
+        def ratio(num: float, den: float) -> float:
+            return round(num / den, 2) if den else float("inf")
+
+        ratios = []
+        for algorithm in algorithms:
+            for dataset in datasets:
+                base = by_cell[(algorithm, dataset, "baseline")]
+                omega = by_cell[(algorithm, dataset, "omega")]
+                ratios.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "speedup": ratio(base["cycles"], omega["cycles"]),
+                        "traffic x": ratio(
+                            base["onchip_traffic_bytes"],
+                            omega["onchip_traffic_bytes"],
+                        ),
+                        "energy x": ratio(
+                            base["energy_nj"], omega["energy_nj"]
+                        ),
+                    }
+                )
+        print(format_table(ratios, "OMEGA vs baseline sweep"), end="")
+
+    if args.json_out:
+        save_rows_json(rows, args.json_out)
+        print(f"rows: {args.json_out}")
+    if args.csv_out:
+        save_rows_csv(rows, args.csv_out)
+        print(f"rows: {args.csv_out}")
     return 0
 
 

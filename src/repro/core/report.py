@@ -19,8 +19,10 @@ __all__ = ["SimReport", "Comparison", "MANIFEST_SCHEMA"]
 
 #: Current manifest schema tag. v2 added the ``telemetry`` block
 #: (windowed-timeline summary percentiles; ``None`` when the run was
-#: not sampled).
-MANIFEST_SCHEMA = "omega-repro/run-manifest/v2"
+#: not sampled). v3 added ``workload.trace_bytes`` and the
+#: ``trace_cache`` block (whether the persistent trace store was
+#: consulted and whether it hit).
+MANIFEST_SCHEMA = "omega-repro/run-manifest/v3"
 
 
 @dataclass
@@ -41,12 +43,17 @@ class SimReport:
     num_vertices: int = 0
     num_edges: int = 0
     trace_events: int = 0
+    #: In-memory footprint of the trace's event columns, in bytes.
+    trace_bytes: int = 0
     #: Registered backend name the trace was replayed through.
     backend: str = ""
     #: Replay wall-clock time (host seconds, not simulated time).
     replay_seconds: float = 0.0
     #: Windowed replay timeline, when the run was sampled.
     timeline: Optional[Timeline] = field(repr=False, default=None)
+    #: Trace-store outcome for this run (``enabled``/``hit``/``key``),
+    #: or ``None`` when the driver predates the store.
+    trace_cache: Optional[Dict] = None
 
     @property
     def cycles(self) -> float:
@@ -146,9 +153,11 @@ class SimReport:
                 "num_vertices": self.num_vertices,
                 "num_edges": self.num_edges,
                 "trace_events": events,
+                "trace_bytes": self.trace_bytes,
                 "hot_capacity": self.hot_capacity,
                 "hot_fraction": self.hot_fraction,
             },
+            "trace_cache": self.trace_cache,
             "replay": {
                 "seconds": self.replay_seconds,
                 "events_per_second": (

@@ -6,7 +6,9 @@ This is the library's main entry point. :func:`run_system` executes one
 1. optionally reorder the graph by popularity (OMEGA's offline
    preprocessing, Section VI — nth-element in-degree by default),
 2. run the algorithm over the Ligra engine, collecting the memory
-   trace,
+   trace — or fetch the identical trace from the persistent
+   content-addressed store (:mod:`repro.store`) when a prior run
+   already generated it,
 3. size the scratchpad mapping from the algorithm's vtxProp footprint
    (Section V-A: one line holds all of a vertex's entries plus the
    active bit) and compile the algorithm's update function to PISC
@@ -20,16 +22,21 @@ cache, GraphPIM, the dynamic scratchpad — runs through the same driver
 via ``run_system(..., backend=...)``; :func:`run_locked_cache` and
 :func:`run_graphpim` are thin aliases kept for compatibility.
 
-:func:`compare_systems` runs baseline and OMEGA on the same workload
-and returns the paper's headline ratios (speedup, traffic reduction,
-DRAM bandwidth improvement, energy saving).
+Because the trace depends only on ``(graph, algorithm, kwargs, cores,
+chunk, reorder)`` — never on the hierarchy replaying it —
+:func:`run_backends` generates (or loads) each *distinct* trace once
+and replays every requested backend against it. :func:`compare_systems`
+is a thin wrapper over it that returns the paper's headline ratios
+(speedup, traffic reduction, DRAM bandwidth improvement, energy
+saving).
 """
 
 from __future__ import annotations
 
 import logging
 import time
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.errors import SimulationError
@@ -39,6 +46,7 @@ from repro.algorithms.common import AlgorithmResult, default_source
 from repro.algorithms.registry import run_algorithm
 from repro.core.offload import microcode_for_algorithm
 from repro.core.report import Comparison, SimReport
+from repro.ligra.trace import Trace
 from repro.memsim.core_model import compute_timing
 from repro.memsim.energy import EnergyModel
 from repro.memsim.engine import (
@@ -58,12 +66,15 @@ from repro.obs import (
     get_tracer,
     use_tracer,
 )
+from repro.store import TraceStore, resolve_store, trace_key
 
 __all__ = [
     "run_system",
+    "run_backends",
     "compare_systems",
     "run_locked_cache",
     "run_graphpim",
+    "default_backend_config",
     "DEFAULT_CHUNK_SIZE",
 ]
 
@@ -91,9 +102,286 @@ _REORDER_DEFAULT = {
     "dynamic": False,
 }
 
+#: The reorder recipe run_system applies (the trace-store key names it).
+_REORDER_RECIPE = "nth-element/in"
+
 #: Backends whose on-chip hot-vertex structure must be sized from the
 #: algorithm's vtxProp footprint.
 _HOT_SET_BACKENDS = ("omega", "locked", "dynamic")
+
+
+def default_backend_config(backend: str, num_cores: int = 16) -> SimConfig:
+    """The conventional scaled configuration for a named backend.
+
+    Mirrors the paper's same-total-storage comparisons: baseline and
+    GraphPIM keep the full cache hierarchy, the locked cache repurposes
+    half the L2 without PISCs, OMEGA and the dynamic scratchpad run the
+    full Table III OMEGA design. Used by the CLI and by
+    :func:`run_backends` when no explicit config is given.
+    """
+    if backend in ("baseline", "graphpim"):
+        return SimConfig.scaled_baseline(num_cores=num_cores)
+    if backend == "locked":
+        return SimConfig.scaled_omega(
+            num_cores=num_cores, use_pisc=False, use_source_buffer=False
+        )
+    return SimConfig.scaled_omega(num_cores=num_cores)
+
+
+@dataclass
+class _TraceBundle:
+    """Everything the replay stage needs from trace generation.
+
+    Exactly this bundle is what the trace store persists: the columnar
+    trace in the ``.npz`` plus the remaining fields in the JSON sidecar
+    — so a warm hit can skip reorder and algorithm execution entirely.
+    """
+
+    trace: Trace
+    #: vtxProp (start, end) address ranges — the spatially-random
+    #: regions the hybrid DRAM page policy serves close-page
+    #: (Section IX direction 3).
+    vtx_ranges: List[Tuple[int, int]]
+    bytes_per_vertex: int
+    num_vertices: int
+    num_edges: int
+    cache_enabled: bool = False
+    cache_hit: bool = False
+    cache_key: Optional[str] = None
+
+    def cache_info(self) -> Dict:
+        """Manifest ``trace_cache`` block."""
+        return {
+            "enabled": self.cache_enabled,
+            "hit": self.cache_hit,
+            "key": self.cache_key,
+        }
+
+
+def _generate_bundle(
+    graph: CSRGraph,
+    algorithm: str,
+    num_cores: int,
+    chunk_size: Optional[int],
+    reorder: bool,
+    tracer,
+    alg_kwargs: Dict,
+) -> _TraceBundle:
+    """Cold path: reorder (optionally) and execute the algorithm."""
+    work_graph = graph
+    if reorder:
+        with tracer.span("reorder", cat="run", key="in"):
+            work_graph, new_ids = reorder_nth_element(graph, key="in")
+        if alg_kwargs.get("source") is not None:
+            alg_kwargs = dict(alg_kwargs)
+            alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
+
+    with tracer.span("trace_generation", cat="run") as gen_span:
+        result: AlgorithmResult = run_algorithm(
+            algorithm,
+            work_graph,
+            num_cores=num_cores,
+            chunk_size=chunk_size,
+            trace=True,
+            **alg_kwargs,
+        )
+        trace = result.trace
+        gen_span.annotate(events=trace.num_events, trace_bytes=trace.nbytes)
+    _LOG.info(
+        "trace generated: %d events, %.2f MiB",
+        trace.num_events, trace.nbytes / (1024 * 1024),
+    )
+    vtx_ranges = [
+        (p.start_addr, p.region.end) for p in result.engine.vtx_props
+    ]
+    return _TraceBundle(
+        trace=trace,
+        vtx_ranges=vtx_ranges,
+        bytes_per_vertex=result.engine.vtxprop_bytes_per_vertex(),
+        num_vertices=work_graph.num_vertices,
+        num_edges=work_graph.num_edges,
+    )
+
+
+def _prepare_trace(
+    graph: CSRGraph,
+    algorithm: str,
+    num_cores: int,
+    chunk_size: Optional[int],
+    reorder: bool,
+    store: Optional[TraceStore],
+    tracer,
+    alg_kwargs: Dict,
+) -> _TraceBundle:
+    """Load the trace bundle from the store, or generate and cache it."""
+    key = None
+    if store is not None:
+        key = trace_key(
+            graph,
+            algorithm,
+            num_cores=num_cores,
+            chunk_size=chunk_size,
+            reorder=_REORDER_RECIPE if reorder else None,
+            alg_kwargs=alg_kwargs,
+        )
+        if key is None:
+            _LOG.debug(
+                "trace store: kwargs not canonicalizable; bypassing cache"
+            )
+    if key is not None:
+        with tracer.span("trace_store.load", cat="run", key=key):
+            entry = store.load(key)
+        if entry is not None:
+            trace, meta = entry
+            _LOG.info(
+                "trace store hit: %s (%d events)", key, trace.num_events
+            )
+            return _TraceBundle(
+                trace=trace,
+                vtx_ranges=[
+                    (int(lo), int(hi)) for lo, hi in meta["vtx_ranges"]
+                ],
+                bytes_per_vertex=int(meta["bytes_per_vertex"]),
+                num_vertices=int(meta["num_vertices"]),
+                num_edges=int(meta["num_edges"]),
+                cache_enabled=True,
+                cache_hit=True,
+                cache_key=key,
+            )
+        _LOG.info("trace store miss: %s", key)
+    bundle = _generate_bundle(
+        graph, algorithm, num_cores, chunk_size, reorder, tracer, alg_kwargs
+    )
+    if key is not None:
+        with tracer.span("trace_store.store", cat="run", key=key):
+            store.store(
+                key,
+                bundle.trace,
+                {
+                    "algorithm": algorithm,
+                    "graph_fingerprint": graph.fingerprint(),
+                    "num_cores": int(num_cores),
+                    "chunk_size": (
+                        None if chunk_size is None else int(chunk_size)
+                    ),
+                    "reorder": _REORDER_RECIPE if reorder else None,
+                    "num_events": bundle.trace.num_events,
+                    "trace_nbytes": bundle.trace.nbytes,
+                    "vtx_ranges": [list(r) for r in bundle.vtx_ranges],
+                    "bytes_per_vertex": bundle.bytes_per_vertex,
+                    "num_vertices": bundle.num_vertices,
+                    "num_edges": bundle.num_edges,
+                },
+            )
+        bundle.cache_enabled = True
+        bundle.cache_key = key
+    return bundle
+
+
+def _replay_bundle(
+    bundle: _TraceBundle,
+    algorithm: str,
+    config: SimConfig,
+    backend_name: str,
+    backend_cls,
+    dataset: str,
+    chunk_size: Optional[int],
+    sp_chunk_size: Optional[int],
+    energy_model: Optional[EnergyModel],
+    pim,
+    sampler: Optional[ReplaySampler],
+    tracer,
+) -> SimReport:
+    """Replay a prepared trace through one backend and build the report."""
+    with tracer.span("prepare_backend", cat="run", backend=backend_name):
+        hot_capacity = 0
+        mapping = None
+        if backend_name in _HOT_SET_BACKENDS:
+            sp_bytes = config.scratchpad_total_bytes
+            if backend_name == "locked" and not sp_bytes:
+                # The locked region repurposes half the on-chip
+                # storage, exactly like OMEGA's scratchpads.
+                sp_bytes = config.total_onchip_bytes // 2
+            hot_capacity = hot_capacity_for(
+                sp_bytes,
+                bundle.bytes_per_vertex,
+                bundle.num_vertices,
+            )
+            if backend_name != "dynamic":
+                mapping = ScratchpadMapping(
+                    num_cores=config.core.num_cores,
+                    hot_capacity=hot_capacity,
+                    chunk_size=(
+                        sp_chunk_size if sp_chunk_size is not None
+                        else chunk_size
+                    ),
+                )
+
+        microcode = None
+        if backend_name in ("omega", "dynamic") and config.use_pisc:
+            microcode = microcode_for_algorithm(algorithm)
+
+        if backend_name == "baseline":
+            hierarchy = BaselineBackend(
+                config, dram_random_ranges=bundle.vtx_ranges
+            )
+        elif backend_name == "omega":
+            hierarchy = OmegaBackend(
+                config, mapping, microcode,
+                dram_random_ranges=bundle.vtx_ranges,
+            )
+        elif backend_name == "locked":
+            hierarchy = LockedCacheBackend(config, mapping)
+        elif backend_name == "graphpim":
+            hierarchy = GraphPimBackend(config, pim)
+        elif backend_name == "dynamic":
+            hierarchy = DynamicScratchpadBackend(
+                config, hot_capacity, microcode
+            )
+        else:
+            # Extension backends take just the config.
+            hierarchy = backend_cls(config)
+
+    replay_start = time.perf_counter()
+    output = hierarchy.replay(bundle.trace, sampler=sampler)
+    replay_seconds = time.perf_counter() - replay_start
+    with tracer.span("timing_energy", cat="run"):
+        timing = compute_timing(output, config)
+        model = energy_model or EnergyModel()
+        energy = model.breakdown(output.stats)
+
+    n = bundle.num_vertices
+    report = SimReport(
+        system=_BACKEND_LABELS.get(backend_name, config.name),
+        algorithm=algorithm,
+        dataset=dataset,
+        config=config,
+        stats=output.stats,
+        timing=timing,
+        energy=energy,
+        replay=output,
+        hot_capacity=hot_capacity,
+        hot_fraction=hot_capacity / n if n else 0.0,
+        num_vertices=n,
+        num_edges=bundle.num_edges,
+        trace_events=bundle.trace.num_events,
+        trace_bytes=bundle.trace.nbytes,
+        backend=backend_name,
+        replay_seconds=replay_seconds,
+        trace_cache=bundle.cache_info(),
+    )
+    _LOG.info(
+        "run complete: %.0f cycles, bottleneck=%s, replay %.3fs",
+        timing.total_cycles, timing.bottleneck, replay_seconds,
+    )
+    return report
+
+
+def _pin_source(graph: CSRGraph, algorithm: str, alg_kwargs: Dict) -> None:
+    """Pin traversal roots to a *logical* vertex before any relabeling,
+    so runs with and without reordering traverse the same workload."""
+    if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
+        alg_kwargs["source"] = default_source(graph)
 
 
 def run_system(
@@ -111,6 +399,7 @@ def run_system(
     trace_path=None,
     timeline_path=None,
     obs_window: Optional[int] = None,
+    cache=None,
     **alg_kwargs,
 ) -> SimReport:
     """Run one algorithm on one graph through one system configuration.
@@ -167,6 +456,14 @@ def run_system(
         Replay sampling window in trace events. ``None`` disables
         sampling unless ``timeline_path`` is given; 0 auto-sizes for
         about 64 windows.
+    cache:
+        Trace-store selector (see :func:`repro.store.resolve_store`):
+        ``None``/``True`` use the ambient store (``REPRO_CACHE_DIR``
+        or an installed :func:`repro.store.set_store`), ``False``
+        bypasses caching, a path or :class:`~repro.store.TraceStore`
+        selects a store explicitly. A warm hit skips reorder and
+        algorithm execution and yields bit-identical simulated
+        counters.
     alg_kwargs:
         Extra arguments for the algorithm runner (source vertex, etc.).
     """
@@ -176,10 +473,8 @@ def run_system(
     backend_cls = get_backend(backend_name)  # validates the name
     if reorder is None:
         reorder = _REORDER_DEFAULT.get(backend_name, config.use_scratchpad)
-    # Pin traversal roots to a *logical* vertex before any relabeling,
-    # so runs with and without reordering traverse the same workload.
-    if algorithm in ("bfs", "sssp", "bc") and alg_kwargs.get("source") is None:
-        alg_kwargs["source"] = default_source(graph)
+    _pin_source(graph, algorithm, alg_kwargs)
+    store = resolve_store(cache)
 
     # Observability setup: reuse an installed tracer, or spin up a
     # private one when a trace file was requested; sample the replay
@@ -199,129 +494,106 @@ def run_system(
         "run_system", cat="run", algorithm=algorithm, dataset=dataset,
         backend=backend_name,
     ):
-        work_graph = graph
-        if reorder:
-            with tracer.span("reorder", cat="run", key="in"):
-                work_graph, new_ids = reorder_nth_element(graph, key="in")
-            if "source" in alg_kwargs and alg_kwargs["source"] is not None:
-                alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
+        bundle = _prepare_trace(
+            graph, algorithm, config.core.num_cores, chunk_size, reorder,
+            store, tracer, alg_kwargs,
+        )
+        report = _replay_bundle(
+            bundle, algorithm, config, backend_name, backend_cls, dataset,
+            chunk_size, sp_chunk_size, energy_model, pim, sampler, tracer,
+        )
 
-        with tracer.span("trace_generation", cat="run") as gen_span:
-            result: AlgorithmResult = run_algorithm(
-                algorithm,
-                work_graph,
-                num_cores=config.core.num_cores,
-                chunk_size=chunk_size,
-                trace=True,
-                **alg_kwargs,
-            )
-            trace = result.trace
-            gen_span.annotate(events=trace.num_events)
-        _LOG.debug("trace generated: %d events", trace.num_events)
-        # vtxProp address ranges: the spatially-random regions the hybrid
-        # DRAM page policy serves close-page (Section IX direction 3).
-        vtx_ranges = [
-            (p.start_addr, p.region.end) for p in result.engine.vtx_props
-        ]
-
-        with tracer.span("prepare_backend", cat="run", backend=backend_name):
-            hot_capacity = 0
-            mapping = None
-            if backend_name in _HOT_SET_BACKENDS:
-                sp_bytes = config.scratchpad_total_bytes
-                if backend_name == "locked" and not sp_bytes:
-                    # The locked region repurposes half the on-chip
-                    # storage, exactly like OMEGA's scratchpads.
-                    sp_bytes = config.total_onchip_bytes // 2
-                hot_capacity = hot_capacity_for(
-                    sp_bytes,
-                    result.engine.vtxprop_bytes_per_vertex(),
-                    work_graph.num_vertices,
-                )
-                if backend_name != "dynamic":
-                    mapping = ScratchpadMapping(
-                        num_cores=config.core.num_cores,
-                        hot_capacity=hot_capacity,
-                        chunk_size=(
-                            sp_chunk_size if sp_chunk_size is not None
-                            else chunk_size
-                        ),
-                    )
-
-            microcode = None
-            if backend_name in ("omega", "dynamic") and config.use_pisc:
-                microcode = microcode_for_algorithm(algorithm)
-
-            if backend_name == "baseline":
-                hierarchy = BaselineBackend(
-                    config, dram_random_ranges=vtx_ranges
-                )
-            elif backend_name == "omega":
-                hierarchy = OmegaBackend(
-                    config, mapping, microcode, dram_random_ranges=vtx_ranges
-                )
-            elif backend_name == "locked":
-                hierarchy = LockedCacheBackend(config, mapping)
-            elif backend_name == "graphpim":
-                hierarchy = GraphPimBackend(config, pim)
-            elif backend_name == "dynamic":
-                hierarchy = DynamicScratchpadBackend(
-                    config, hot_capacity, microcode
-                )
-            else:
-                # Extension backends take just the config.
-                hierarchy = backend_cls(config)
-
-        replay_start = time.perf_counter()
-        output = hierarchy.replay(trace, sampler=sampler)
-        replay_seconds = time.perf_counter() - replay_start
-        with tracer.span("timing_energy", cat="run"):
-            timing = compute_timing(output, config)
-            model = energy_model or EnergyModel()
-            energy = model.breakdown(output.stats)
-
-    timeline = None
     if sampler is not None:
-        timeline = sampler.timeline()
+        report.timeline = sampler.timeline()
         registry = get_registry()
         if registry.enabled:
-            timeline.metrics = registry.snapshot()
+            report.timeline.metrics = registry.snapshot()
 
-    n = work_graph.num_vertices
-    report = SimReport(
-        system=_BACKEND_LABELS.get(backend_name, config.name),
-        algorithm=algorithm,
-        dataset=dataset,
-        config=config,
-        stats=output.stats,
-        timing=timing,
-        energy=energy,
-        replay=output,
-        hot_capacity=hot_capacity,
-        hot_fraction=hot_capacity / n if n else 0.0,
-        num_vertices=n,
-        num_edges=work_graph.num_edges,
-        trace_events=trace.num_events,
-        backend=backend_name,
-        replay_seconds=replay_seconds,
-        timeline=timeline,
-    )
-    _LOG.info(
-        "run complete: %.0f cycles, bottleneck=%s, replay %.3fs",
-        timing.total_cycles, timing.bottleneck, replay_seconds,
-    )
     if trace_path is not None:
         tracer.export_chrome(trace_path)
         _LOG.info("wrote Chrome trace to %s", trace_path)
-    if timeline_path is not None and timeline is not None:
-        timeline.save(timeline_path)
+    if timeline_path is not None and report.timeline is not None:
+        report.timeline.save(timeline_path)
         _LOG.info(
             "wrote %d-window timeline to %s",
-            timeline.num_windows, timeline_path,
+            report.timeline.num_windows, timeline_path,
         )
     if manifest_path is not None:
         report.save_manifest(manifest_path)
     return report
+
+
+def run_backends(
+    graph: CSRGraph,
+    algorithm: str,
+    backends: Sequence[str],
+    configs: Optional[Dict[str, SimConfig]] = None,
+    dataset: str = "",
+    num_cores: int = 16,
+    chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    sp_chunk_size: Optional[int] = None,
+    reorder: Optional[bool] = None,
+    energy_model: Optional[EnergyModel] = None,
+    pim=None,
+    cache=None,
+    **alg_kwargs,
+) -> Dict[str, SimReport]:
+    """Replay one workload through several backends, sharing traces.
+
+    The memory trace depends on the graph, algorithm, kwargs, core
+    count, chunk size and reorder recipe — *not* on the hierarchy that
+    replays it — so each distinct trace is generated (or loaded from
+    the trace store) exactly once and every backend that needs it
+    replays the same in-memory arrays. With the paper's defaults that
+    means two generations (original order for baseline/GraphPIM/
+    dynamic, reordered for OMEGA/locked) regardless of how many
+    backends run.
+
+    Parameters mirror :func:`run_system`; ``configs`` optionally maps a
+    backend name to its :class:`SimConfig` (defaults per backend via
+    :func:`default_backend_config` with ``num_cores``). Returns an
+    ordered ``{backend name: SimReport}`` in the order requested.
+    """
+    if not backends:
+        raise SimulationError("run_backends needs at least one backend name")
+    configs = dict(configs or {})
+    resolved: Dict[str, SimConfig] = {}
+    for name in backends:
+        get_backend(name)  # validates
+        resolved[name] = configs.get(name) or default_backend_config(
+            name, num_cores=num_cores
+        )
+    _pin_source(graph, algorithm, alg_kwargs)
+    store = resolve_store(cache)
+    tracer = get_tracer()
+
+    bundles: Dict[Tuple, _TraceBundle] = {}
+    reports: Dict[str, SimReport] = {}
+    with tracer.span(
+        "run_backends", cat="run", algorithm=algorithm, dataset=dataset,
+        backends=",".join(backends),
+    ):
+        for name in backends:
+            config = resolved[name]
+            do_reorder = (
+                reorder if reorder is not None
+                else _REORDER_DEFAULT.get(name, config.use_scratchpad)
+            )
+            signature = (
+                bool(do_reorder), config.core.num_cores, chunk_size,
+            )
+            bundle = bundles.get(signature)
+            if bundle is None:
+                bundle = _prepare_trace(
+                    graph, algorithm, config.core.num_cores, chunk_size,
+                    do_reorder, store, tracer, alg_kwargs,
+                )
+                bundles[signature] = bundle
+            reports[name] = _replay_bundle(
+                bundle, algorithm, config, name, get_backend(name), dataset,
+                chunk_size, sp_chunk_size, energy_model, pim, None, tracer,
+            )
+    return reports
 
 
 def run_locked_cache(
@@ -386,7 +658,9 @@ def compare_systems(
     """Run baseline and OMEGA on the same workload; return the ratios.
 
     Defaults to the scaled Table III configurations with equal total
-    on-chip storage (the paper's "same-sized" comparison).
+    on-chip storage (the paper's "same-sized" comparison). A thin
+    wrapper over :func:`run_backends`, so the two runs share the trace
+    store and any extra ``kwargs`` (chunk size, algorithm arguments).
     """
     baseline_config = baseline_config or SimConfig.scaled_baseline()
     omega_config = omega_config or SimConfig.scaled_omega()
@@ -394,8 +668,12 @@ def compare_systems(
         raise SimulationError("baseline_config must not use scratchpads")
     if not omega_config.use_scratchpad:
         raise SimulationError("omega_config must use scratchpads")
-    base = run_system(
-        graph, algorithm, baseline_config, dataset=dataset, **kwargs
+    reports = run_backends(
+        graph,
+        algorithm,
+        ("baseline", "omega"),
+        configs={"baseline": baseline_config, "omega": omega_config},
+        dataset=dataset,
+        **kwargs,
     )
-    omega = run_system(graph, algorithm, omega_config, dataset=dataset, **kwargs)
-    return Comparison(baseline=base, omega=omega)
+    return Comparison(baseline=reports["baseline"], omega=reports["omega"])

@@ -16,6 +16,7 @@ each edge in both directions and set :attr:`CSRGraph.directed` to
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -97,6 +98,7 @@ class CSRGraph:
         self._num_vertices = int(num_vertices)
         self._directed = bool(directed)
         self._num_input_edges = int(len(src_arr))
+        self._fingerprint: Optional[str] = None
 
         if not directed:
             # Store both directions; skip duplicating self-loops.
@@ -179,6 +181,31 @@ class CSRGraph:
     def in_weights(self) -> Optional[np.ndarray]:
         """Weights aligned with :attr:`in_sources` (``None`` if unweighted)."""
         return self._in_weights
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph's structural arrays (memoized).
+
+        A blake2b digest over the out-direction CSR arrays, the weight
+        array (when present), the vertex count and the directedness
+        flag. The in-direction arrays are derived deterministically
+        from the out direction, so they add no information. Two graphs
+        with equal fingerprints produce byte-identical memory traces
+        for the same (algorithm, kwargs, cores, chunk, reorder)
+        tuple — this is the graph component of the trace-store cache
+        key (:mod:`repro.store`).
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(
+                f"csr/v1:{self._num_vertices}:{int(self._directed)}:"
+                f"{int(self._out_weights is not None)}".encode()
+            )
+            h.update(np.ascontiguousarray(self._out_offsets).tobytes())
+            h.update(np.ascontiguousarray(self._out_targets).tobytes())
+            if self._out_weights is not None:
+                h.update(np.ascontiguousarray(self._out_weights).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Per-vertex accessors

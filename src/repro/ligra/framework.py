@@ -669,5 +669,11 @@ class LigraEngine:
         )
 
     def build_trace(self) -> Trace:
-        """Finalize and return the accumulated memory trace."""
-        return self.trace_builder.build()
+        """Finalize and return the accumulated memory trace.
+
+        The engine's address-space layout is attached so saved
+        archives are self-describing (``docs/trace-format.md``).
+        """
+        trace = self.trace_builder.build()
+        trace.regions = tuple(self.space.regions)
+        return trace

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,7 +35,14 @@ __all__ = [
     "FLAG_UPDATE",
     "WORD_BYTES",
     "CACHE_LINE_BYTES",
+    "TRACE_FORMAT_VERSION",
 ]
+
+#: On-disk trace-archive format version. Version 1 added the
+#: ``format_version`` scalar and the optional address-space region
+#: metadata columns; archives written before versioning (no
+#: ``format_version`` entry) are still accepted as legacy.
+TRACE_FORMAT_VERSION = 1
 
 #: Machine word size (the paper's max vtxProp entry is 8 bytes).
 WORD_BYTES = 8
@@ -145,6 +152,11 @@ class Trace:
     #: Event indices at algorithm-iteration boundaries (source-buffer
     #: invalidation points — Section V-C).
     barriers: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    #: Address-space layout the trace was generated against (one
+    #: :class:`Region` per allocated array), when known. Carried
+    #: through :meth:`save`/:meth:`load` so standalone archives are
+    #: self-describing.
+    regions: Tuple[Region, ...] = ()
 
     def __len__(self) -> int:
         return len(self.addr)
@@ -153,6 +165,19 @@ class Trace:
     def num_events(self) -> int:
         """Total number of memory events."""
         return len(self.addr)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the event columns, in bytes."""
+        return int(
+            self.core.nbytes
+            + self.addr.nbytes
+            + self.size.nbytes
+            + self.access_class.nbytes
+            + self.flags.nbytes
+            + self.vertex.nbytes
+            + self.barriers.nbytes
+        )
 
     def count(
         self,
@@ -187,7 +212,15 @@ class Trace:
         atomics on the baseline CMP. Per-core event order is preserved,
         so per-core state (L1s, stream detectors, buffers) is
         unaffected; only shared state sees the realistic interleaving.
+
+        The permutation is deterministic and traces are treated as
+        immutable once built, so the result is memoized — replaying
+        one trace through several backends (:func:`run_backends`, the
+        comparison drivers) interleaves once, not per replay.
         """
+        cached = getattr(self, "_interleaved", None)
+        if cached is not None:
+            return cached
         n = len(self.addr)
         if n == 0:
             return self
@@ -207,7 +240,7 @@ class Trace:
             rank = np.empty(hi - lo, dtype=np.int64)
             rank[order] = np.arange(hi - lo) - group_start
             perm[lo:hi] = lo + np.lexsort((seg_core, rank))
-        return Trace(
+        result = Trace(
             core=self.core[perm],
             addr=self.addr[perm],
             size=self.size[perm],
@@ -215,24 +248,56 @@ class Trace:
             flags=self.flags[perm],
             vertex=self.vertex[perm],
             barriers=self.barriers.copy(),
+            regions=self.regions,
         )
+        # Instance attribute, not a dataclass field: it stays out of
+        # __eq__/__repr__ and of save()'s column set.
+        self._interleaved = result
+        result._interleaved = result  # lockstep order is a fixed point
+        return result
 
     def save(self, path) -> None:
-        """Persist the trace as a compressed ``.npz`` archive."""
-        np.savez_compressed(
-            path,
-            core=self.core,
-            addr=self.addr,
-            size=self.size,
-            access_class=self.access_class,
-            flags=self.flags,
-            vertex=self.vertex,
-            barriers=self.barriers,
-        )
+        """Persist the trace as a compressed ``.npz`` archive.
+
+        Archives carry :data:`TRACE_FORMAT_VERSION` plus the
+        address-space region table (when :attr:`regions` is set), so a
+        loader can validate compatibility and recover the memory
+        layout without the generating engine.
+        """
+        columns = {
+            "format_version": np.int64(TRACE_FORMAT_VERSION),
+            "core": self.core,
+            "addr": self.addr,
+            "size": self.size,
+            "access_class": self.access_class,
+            "flags": self.flags,
+            "vertex": self.vertex,
+            "barriers": self.barriers,
+        }
+        if self.regions:
+            columns["region_name"] = np.array(
+                [r.name for r in self.regions], dtype=np.str_
+            )
+            columns["region_base"] = np.array(
+                [r.base for r in self.regions], dtype=np.int64
+            )
+            columns["region_size"] = np.array(
+                [r.size for r in self.regions], dtype=np.int64
+            )
+            columns["region_class"] = np.array(
+                [int(r.access_class) for r in self.regions], dtype=np.int8
+            )
+        np.savez_compressed(path, **columns)
 
     @classmethod
     def load(cls, path) -> "Trace":
-        """Load a trace previously written by :meth:`save`."""
+        """Load a trace previously written by :meth:`save`.
+
+        Raises :class:`~repro.errors.TraceError` when the archive is
+        not a trace, or carries a ``format_version`` other than
+        :data:`TRACE_FORMAT_VERSION` (legacy archives without the
+        version entry load as before).
+        """
         with np.load(path) as data:
             required = {
                 "core", "addr", "size", "access_class", "flags", "vertex"
@@ -241,6 +306,29 @@ class Trace:
             if missing:
                 raise TraceError(
                     f"{path} is not a trace archive; missing {sorted(missing)}"
+                )
+            if "format_version" in data.files:
+                version = int(data["format_version"])
+                if version != TRACE_FORMAT_VERSION:
+                    raise TraceError(
+                        f"{path} has trace format version {version};"
+                        f" this build reads version {TRACE_FORMAT_VERSION}"
+                    )
+            regions: Tuple[Region, ...] = ()
+            if "region_base" in data.files:
+                regions = tuple(
+                    Region(
+                        name=str(name),
+                        base=int(base),
+                        size=int(size),
+                        access_class=AccessClass(int(klass)),
+                    )
+                    for name, base, size, klass in zip(
+                        data["region_name"],
+                        data["region_base"],
+                        data["region_size"],
+                        data["region_class"],
+                    )
                 )
             return cls(
                 core=data["core"],
@@ -254,6 +342,7 @@ class Trace:
                     if "barriers" in data.files
                     else np.zeros(0, dtype=np.int64)
                 ),
+                regions=regions,
             )
 
     def concat(self, other: "Trace") -> "Trace":
@@ -268,6 +357,7 @@ class Trace:
             barriers=np.concatenate(
                 [self.barriers, other.barriers + len(self.addr)]
             ),
+            regions=self.regions if self.regions else other.regions,
         )
 
 

@@ -1,0 +1,439 @@
+"""Persistent, content-addressed trace store.
+
+Trace *generation* (reorder + algorithm execution over the Ligra
+engine) dominates end-to-end wall-clock now that replay is
+batch-vectorized, yet the trace is a pure function of
+
+``(graph content, algorithm, algorithm kwargs, num_cores, chunk_size,
+reorder key)``
+
+and is byte-identical across every hierarchy backend that replays it.
+The store caches each distinct trace exactly once under a
+content-addressed key:
+
+- the graph component is :meth:`repro.graph.csr.CSRGraph.fingerprint`
+  (a memoized blake2b of the CSR arrays), so renaming a dataset or
+  re-generating an identical synthetic graph still hits;
+- the remaining components are folded in via a canonical JSON blob
+  hashed with blake2b (:func:`trace_key`).
+
+Each entry is two files in the store root:
+
+- ``<key>.npz`` — the compressed columnar :class:`~repro.ligra.trace.Trace`;
+- ``<key>.json`` — a sidecar with the downstream metadata
+  :func:`repro.core.system.run_system` needs to skip generation
+  entirely (vtxProp address ranges, bytes-per-vertex, event count,
+  graph shape) plus format versions for compatibility checks.
+
+Entries are evicted LRU by file mtime when the store grows past its
+size cap. Writes are atomic (temp file + ``os.replace``) so concurrent
+sweep workers can share one store: the worst case under a race is
+duplicated generation work, never a torn entry. Corrupted or
+version-mismatched entries are discarded and treated as misses, so the
+cache can only ever cost a regeneration, not correctness.
+
+Controls: the ambient store honours the ``REPRO_CACHE_DIR`` and
+``REPRO_CACHE_CAPACITY_MB`` environment variables; the CLI adds
+``--cache-dir`` / ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+import zipfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.ligra.trace import TRACE_FORMAT_VERSION, Trace
+from repro.obs import get_registry
+
+__all__ = [
+    "SIDECAR_VERSION",
+    "DEFAULT_CAPACITY_BYTES",
+    "StoreEntry",
+    "TraceStore",
+    "trace_key",
+    "normalize_kwargs",
+    "get_store",
+    "set_store",
+    "use_store",
+    "resolve_store",
+]
+
+_LOG = logging.getLogger("repro.store")
+
+#: Sidecar metadata format version; bumped whenever the metadata the
+#: replay stage consumes changes shape.
+SIDECAR_VERSION = 1
+
+#: Default store size cap (bytes). The scaled stand-in traces are a
+#: few MB each, so this holds hundreds of distinct workloads.
+DEFAULT_CAPACITY_BYTES = 512 * 1024 * 1024
+
+#: Environment variables controlling the ambient store.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_CAPACITY_MB = "REPRO_CACHE_CAPACITY_MB"
+
+
+def normalize_kwargs(kwargs: Dict) -> Optional[Dict]:
+    """Canonicalize algorithm kwargs for hashing.
+
+    Returns a JSON-able dict, or ``None`` when a value cannot be
+    canonicalized — the caller then bypasses the cache for that run
+    instead of risking a false hit.
+    """
+    out: Dict = {}
+    for name in sorted(kwargs):
+        value = kwargs[name]
+        if isinstance(value, (np.integer,)):
+            value = int(value)
+        elif isinstance(value, (np.floating,)):
+            value = float(value)
+        elif isinstance(value, (np.bool_,)):
+            value = bool(value)
+        if value is None or isinstance(value, (bool, int, float, str)):
+            out[name] = value
+        else:
+            return None
+    return out
+
+
+def trace_key(
+    graph,
+    algorithm: str,
+    num_cores: int,
+    chunk_size: Optional[int],
+    reorder: Optional[str],
+    alg_kwargs: Optional[Dict] = None,
+) -> Optional[str]:
+    """Content-addressed cache key for one trace-generation run.
+
+    ``reorder`` is the reorder recipe applied before generation
+    (``"in"`` for the default nth-element in-degree pass, ``None`` for
+    the original ordering). Returns ``None`` when the kwargs cannot be
+    canonicalized (caching is then skipped for the run).
+    """
+    kwargs = normalize_kwargs(alg_kwargs or {})
+    if kwargs is None:
+        return None
+    payload = {
+        "trace_format": TRACE_FORMAT_VERSION,
+        "sidecar": SIDECAR_VERSION,
+        "graph": graph.fingerprint(),
+        "algorithm": str(algorithm),
+        "num_cores": int(num_cores),
+        "chunk_size": None if chunk_size is None else int(chunk_size),
+        "reorder": reorder,
+        "kwargs": kwargs,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One cached trace: its key, on-disk size, and last-use time."""
+
+    key: str
+    nbytes: int
+    mtime: float
+
+
+class TraceStore:
+    """A size-capped, LRU-evicted directory of cached traces.
+
+    The store is stateless between calls (all bookkeeping lives in the
+    filesystem), so any number of processes — e.g. the workers of
+    ``repro sweep`` — can share one root directory.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        self.root = Path(root)
+        if capacity_bytes is None:
+            env_mb = os.environ.get(ENV_CACHE_CAPACITY_MB)
+            capacity_bytes = (
+                int(float(env_mb) * 1024 * 1024)
+                if env_mb
+                else DEFAULT_CAPACITY_BYTES
+            )
+        if capacity_bytes <= 0:
+            raise TraceError(
+                f"trace-store capacity must be > 0, got {capacity_bytes}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def trace_path(self, key: str) -> Path:
+        """On-disk path of the compressed trace for ``key``."""
+        return self.root / f"{key}.npz"
+
+    def meta_path(self, key: str) -> Path:
+        """On-disk path of the JSON sidecar for ``key``."""
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[Tuple[Trace, Dict]]:
+        """Fetch ``(trace, metadata)`` for ``key``, or ``None`` on miss.
+
+        Any defect — missing files, truncated archive, version
+        mismatch, malformed sidecar — discards the entry and reports a
+        miss, so callers always fall back to regeneration.
+        """
+        counters = get_registry()
+        meta_path = self.meta_path(key)
+        trace_path = self.trace_path(key)
+        try:
+            with open(meta_path) as f:
+                meta = json.load(f)
+            if not isinstance(meta, dict):
+                raise TraceError(f"{meta_path} is not a sidecar object")
+            if meta.get("sidecar_version") != SIDECAR_VERSION:
+                raise TraceError(
+                    f"sidecar version {meta.get('sidecar_version')!r}"
+                    f" != {SIDECAR_VERSION}"
+                )
+            if meta.get("trace_format_version") != TRACE_FORMAT_VERSION:
+                raise TraceError(
+                    f"trace format {meta.get('trace_format_version')!r}"
+                    f" != {TRACE_FORMAT_VERSION}"
+                )
+            trace = Trace.load(trace_path)
+            if trace.num_events != int(meta.get("num_events", -1)):
+                raise TraceError(
+                    f"event count {trace.num_events} does not match"
+                    f" sidecar {meta.get('num_events')!r}"
+                )
+        except FileNotFoundError:
+            counters.counter("trace_store.misses").inc()
+            return None
+        except (
+            TraceError, OSError, ValueError, KeyError, zipfile.BadZipFile,
+        ) as exc:
+            _LOG.warning(
+                "trace store: discarding unusable entry %s (%s)", key, exc
+            )
+            counters.counter("trace_store.corrupt").inc()
+            counters.counter("trace_store.misses").inc()
+            self.discard(key)
+            return None
+        self._touch(trace_path, meta_path)
+        counters.counter("trace_store.hits").inc()
+        return trace, meta
+
+    def store(self, key: str, trace: Trace, meta: Dict) -> None:
+        """Insert (or overwrite) one entry atomically, then evict LRU."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = dict(meta)
+        doc.setdefault("sidecar_version", SIDECAR_VERSION)
+        doc.setdefault("trace_format_version", TRACE_FORMAT_VERSION)
+        doc.setdefault("num_events", trace.num_events)
+        doc.setdefault("key", key)
+        # Trace first, sidecar second: the sidecar's presence marks the
+        # entry complete, so a reader never sees a half-written pair.
+        self._atomic_write(
+            self.trace_path(key), lambda path: trace.save(path)
+        )
+        self._atomic_write(
+            self.meta_path(key),
+            lambda path: Path(path).write_text(
+                json.dumps(doc, indent=2, sort_keys=True)
+            ),
+        )
+        get_registry().counter("trace_store.stores").inc()
+        self.evict()
+
+    def discard(self, key: str) -> None:
+        """Remove one entry (both files), tolerating races."""
+        for path in (self.meta_path(key), self.trace_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Size accounting / eviction
+    # ------------------------------------------------------------------
+    def entries(self) -> List[StoreEntry]:
+        """All complete entries, oldest (least recently used) first."""
+        found: List[StoreEntry] = []
+        try:
+            sidecars = sorted(self.root.glob("*.json"))
+        except OSError:
+            return found
+        for meta_path in sidecars:
+            if meta_path.name.startswith("."):
+                continue  # in-flight temp file from _atomic_write
+            key = meta_path.stem
+            trace_path = self.trace_path(key)
+            try:
+                stat_t = trace_path.stat()
+                stat_m = meta_path.stat()
+            except OSError:
+                continue
+            found.append(
+                StoreEntry(
+                    key=key,
+                    nbytes=stat_t.st_size + stat_m.st_size,
+                    mtime=max(stat_t.st_mtime, stat_m.st_mtime),
+                )
+            )
+        found.sort(key=lambda e: (e.mtime, e.key))
+        return found
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of all complete entries."""
+        return sum(e.nbytes for e in self.entries())
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def evict(self) -> int:
+        """Drop least-recently-used entries until under capacity.
+
+        Returns the number of entries evicted.
+        """
+        entries = self.entries()
+        total = sum(e.nbytes for e in entries)
+        evicted = 0
+        for entry in entries:
+            if total <= self.capacity_bytes:
+                break
+            self.discard(entry.key)
+            total -= entry.nbytes
+            evicted += 1
+        if evicted:
+            _LOG.info(
+                "trace store: evicted %d LRU entries (%d bytes kept)",
+                evicted, total,
+            )
+            get_registry().counter("trace_store.evictions").inc(evicted)
+        return evicted
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        for entry in self.entries():
+            self.discard(entry.key)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(*paths: Path) -> None:
+        for path in paths:
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _atomic_write(path: Path, writer) -> None:
+        # Keep the real suffix on the temp name: np.savez_compressed
+        # appends ".npz" to names that lack it, which would orphan the
+        # temp file and break the rename.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem}.", suffix=f".tmp{path.suffix}"
+        )
+        os.close(fd)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceStore(root={str(self.root)!r},"
+            f" capacity_bytes={self.capacity_bytes})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient store
+# ----------------------------------------------------------------------
+_ambient_store: Optional[TraceStore] = None
+_ambient_installed = False
+
+
+def get_store() -> Optional[TraceStore]:
+    """The ambient trace store, or ``None`` when caching is disabled.
+
+    An explicitly installed store (:func:`set_store`/:func:`use_store`)
+    wins; otherwise the ``REPRO_CACHE_DIR`` environment variable names
+    the store root. With neither, caching is off — the library never
+    writes outside directories it was pointed at.
+    """
+    if _ambient_installed:
+        return _ambient_store
+    root = os.environ.get(ENV_CACHE_DIR)
+    return TraceStore(root) if root else None
+
+
+def set_store(store: Optional[TraceStore]) -> None:
+    """Install ``store`` as the process-wide ambient trace store.
+
+    ``set_store(None)`` pins caching *off* regardless of environment;
+    call :func:`reset_store` to restore environment-driven resolution.
+    """
+    global _ambient_store, _ambient_installed
+    _ambient_store = store
+    _ambient_installed = True
+
+
+def reset_store() -> None:
+    """Return to environment-driven ambient-store resolution."""
+    global _ambient_store, _ambient_installed
+    _ambient_store = None
+    _ambient_installed = False
+
+
+@contextmanager
+def use_store(store: Optional[TraceStore]):
+    """Context manager installing ``store`` for the enclosed scope."""
+    global _ambient_store, _ambient_installed
+    prev_store, prev_installed = _ambient_store, _ambient_installed
+    _ambient_store = store
+    _ambient_installed = True
+    try:
+        yield store
+    finally:
+        _ambient_store, _ambient_installed = prev_store, prev_installed
+
+
+def resolve_store(
+    cache: Union[None, bool, str, os.PathLike, TraceStore],
+) -> Optional[TraceStore]:
+    """Map a driver-level ``cache`` argument onto a store instance.
+
+    - ``None`` / ``True`` — the ambient store (:func:`get_store`);
+    - ``False`` — caching off;
+    - a path — a :class:`TraceStore` rooted there;
+    - a :class:`TraceStore` — itself.
+    """
+    if cache is False:
+        return None
+    if isinstance(cache, TraceStore):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return TraceStore(cache)
+    return get_store()

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError, TraceError
-from repro.ligra.trace import AccessClass, FLAG_UPDATE, Trace, TraceBuilder
+from repro.ligra.trace import (
+    TRACE_FORMAT_VERSION,
+    AccessClass,
+    FLAG_UPDATE,
+    Region,
+    Trace,
+    TraceBuilder,
+)
 from repro.algorithms.pagerank import pagerank_reference, run_pagerank
 
 
@@ -50,6 +57,77 @@ class TestTraceSaveLoad:
         path = tmp_path / "empty.npz"
         tr.save(path)
         assert Trace.load(path).num_events == 0
+
+
+class TestTraceFormat:
+    def _trace(self):
+        tb = TraceBuilder()
+        tb.append(0, np.array([0, 64, 128]), 8, AccessClass.VTXPROP,
+                  write=True, vertex=np.array([0, 1, 2]))
+        return tb.build()
+
+    def test_save_stamps_format_version(self, tmp_path):
+        path = tmp_path / "t.npz"
+        self._trace().save(path)
+        with np.load(path) as data:
+            assert int(data["format_version"]) == TRACE_FORMAT_VERSION
+
+    def test_load_rejects_future_format(self, tmp_path):
+        path = tmp_path / "t.npz"
+        self._trace().save(path)
+        with np.load(path) as data:
+            columns = {name: data[name] for name in data.files}
+        columns["format_version"] = np.int64(TRACE_FORMAT_VERSION + 1)
+        np.savez(path, **columns)
+        with pytest.raises(TraceError, match="format version"):
+            Trace.load(path)
+
+    def test_load_accepts_legacy_unversioned(self, tmp_path):
+        # Archives written before versioning carry no format_version
+        # scalar; they must still load.
+        path = tmp_path / "t.npz"
+        self._trace().save(path)
+        with np.load(path) as data:
+            columns = {
+                name: data[name] for name in data.files
+                if name != "format_version"
+            }
+        np.savez(path, **columns)
+        assert Trace.load(path).num_events == 3
+
+    def test_regions_roundtrip(self, tmp_path):
+        tr = self._trace()
+        tr.regions = (
+            Region(name="vtxprop:rank", base=0, size=4096,
+                   access_class=AccessClass.VTXPROP),
+            Region(name="edgelist", base=4096, size=1 << 16,
+                   access_class=AccessClass.EDGELIST),
+        )
+        path = tmp_path / "t.npz"
+        tr.save(path)
+        loaded = Trace.load(path)
+        assert loaded.regions == tr.regions
+
+    def test_no_regions_loads_empty_tuple(self, tmp_path):
+        path = tmp_path / "t.npz"
+        self._trace().save(path)
+        assert Trace.load(path).regions == ()
+
+    def test_engine_traces_carry_regions(self, small_powerlaw):
+        tr = run_pagerank(small_powerlaw, num_cores=4).trace
+        assert tr.regions
+        assert any(
+            r.access_class == AccessClass.VTXPROP for r in tr.regions
+        )
+
+    def test_nbytes_counts_all_columns(self):
+        tr = self._trace()
+        assert tr.nbytes == (
+            tr.addr.nbytes + tr.core.nbytes + tr.size.nbytes
+            + tr.access_class.nbytes + tr.flags.nbytes
+            + tr.vertex.nbytes + tr.barriers.nbytes
+        )
+        assert tr.nbytes > 0
 
 
 class TestUpdateFlag:

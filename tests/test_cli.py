@@ -103,6 +103,101 @@ class TestCommands:
         assert exc.value.code == 2
 
 
+class TestCacheFlags:
+    def test_run_cache_dir_miss_then_hit(self, tmp_path, capsys):
+        argv = ["run", "--dataset", "sd", "--scale", "0.5",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "trace_cache: miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "trace_cache: hit" in capsys.readouterr().out
+
+    def test_no_cache_silences_cache_line(self, tmp_path, capsys):
+        assert main(["run", "--dataset", "sd", "--scale", "0.5",
+                     "--cache-dir", str(tmp_path), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "trace_cache" not in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_warm_manifest_passes_report_gate(self, tmp_path, capsys):
+        cold = tmp_path / "cold.json"
+        warm = tmp_path / "warm.json"
+        cache = str(tmp_path / "store")
+        base = ["run", "--dataset", "sd", "--scale", "0.5",
+                "--cache-dir", cache]
+        assert main(base + ["--manifest", str(cold)]) == 0
+        assert main(base + ["--manifest", str(warm)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(cold), str(warm),
+                     "--tolerance", "0"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_accepts_cache_dir(self, tmp_path, capsys):
+        assert main(["compare", "--dataset", "sd", "--scale", "0.5",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_backend_table_and_outputs(self, tmp_path, capsys):
+        import csv
+        import json
+
+        json_out = tmp_path / "rows.json"
+        csv_out = tmp_path / "rows.csv"
+        assert main(["sweep", "--algorithms", "pagerank",
+                     "--datasets", "sd", "--backends", "baseline,omega",
+                     "--scale", "0.5", "--cores", "4",
+                     "--json-out", str(json_out),
+                     "--csv-out", str(csv_out)]) == 0
+        out = capsys.readouterr().out
+        assert "backend sweep" in out
+        assert "speedup" in out  # OMEGA-vs-baseline ratio table
+        doc = json.loads(json_out.read_text())
+        assert doc["schema"] == "omega-repro/sweep-results/v1"
+        assert len(doc["rows"]) == 2
+        assert {r["backend"] for r in doc["rows"]} == {"baseline", "omega"}
+        with open(csv_out) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 2
+        assert rows[0]["dataset"] == "sd"
+
+    def test_single_backend_skips_ratio_table(self, capsys):
+        assert main(["sweep", "--algorithms", "pagerank",
+                     "--datasets", "sd", "--backends", "baseline",
+                     "--scale", "0.5", "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "backend sweep" in out
+        assert "speedup" not in out
+
+    def test_unknown_backend_errors(self, capsys):
+        assert main(["sweep", "--algorithms", "pagerank",
+                     "--datasets", "sd", "--backends", "tpu"]) == 2
+        assert "backend" in capsys.readouterr().err
+
+    def test_workers_match_serial_rows(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "store")
+        serial_out = tmp_path / "serial.json"
+        par_out = tmp_path / "par.json"
+        base = ["sweep", "--algorithms", "pagerank", "--datasets", "sd",
+                "--backends", "baseline,omega", "--scale", "0.5",
+                "--cores", "4", "--cache-dir", cache]
+        assert main(base + ["--json-out", str(serial_out)]) == 0
+        assert main(base + ["--workers", "2",
+                            "--json-out", str(par_out)]) == 0
+        capsys.readouterr()
+        serial = json.loads(serial_out.read_text())["rows"]
+        parallel = json.loads(par_out.read_text())["rows"]
+        drop = ("replay_seconds", "run_seconds", "trace_cache")
+        for s, p in zip(serial, parallel):
+            assert {k: v for k, v in s.items() if k not in drop} == \
+                   {k: v for k, v in p.items() if k not in drop}
+        # Second pass ran against a warm store.
+        assert all(r["trace_cache"] == "hit" for r in parallel)
+
+
 class TestObservabilityFlags:
     def test_run_writes_trace_and_timeline(self, tmp_path, capsys):
         import json
