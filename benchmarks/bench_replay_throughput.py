@@ -1,20 +1,21 @@
-"""Replay-engine throughput: events/second through the unified engine.
+"""Replay-engine throughput: events/second through the layered engine.
 
-The batch-vectorized replay engine (pre-pass + routed cache stage +
-bincount accounting) replaced the original per-event scalar loop. This
-bench measures replay throughput on the paper's headline workload
-(PageRank on the lj stand-in) for the baseline and OMEGA backends and
-compares against two references:
+The screened batch kernel (``CacheSystem._replay_kernel``: vectorized
+guaranteed-hit screening + a residual loop with local counters)
+replaced the per-event cache stage. This bench measures replay
+throughput on the paper's headline workload (PageRank on the lj
+stand-in) for the baseline and OMEGA backends and compares against two
+references:
 
 - the **pre-refactor** numbers recorded from the seed tree's scalar
   loop on this workload (events decoded, classified, and routed one at
   a time), and
-- the engine's own scalar cache loop (``force_scalar_cache``), which
-  still pays per-event cache simulation but benefits from the
-  vectorized pre-pass/routing — an in-process lower bound on the
-  batch win.
+- the engine's own scalar cache oracle (``force_scalar_cache``, the
+  ``REPRO_SCALAR_CACHE=1`` path), which still pays per-event cache
+  simulation but benefits from the vectorized pre-pass/routing — an
+  in-process lower bound on the kernel's win.
 
-The refactor's acceptance bar is >=3x over the pre-refactor loop on
+The refactor's acceptance bar is >=2.5x over the pre-refactor loop on
 both backends.
 """
 
@@ -102,7 +103,8 @@ def _measure():
                 "before ev/s": f"{before:,.0f}",
                 "after ev/s": f"{after:,.0f}",
                 "speedup": round(after / before, 2),
-                "scalar-loop ev/s": f"{events / scalar:,.0f}",
+                "scalar-oracle ev/s": f"{events / scalar:,.0f}",
+                "kernel/oracle": round(scalar / batch, 2),
             }
         )
     return rows, speedups
@@ -115,14 +117,14 @@ def test_replay_throughput(benchmark):
     )
     text += (
         "\nbefore = pre-refactor per-event loop (recorded at seed commit"
-        " 296ad4d); after = unified batch engine;\nscalar-loop = the"
-        " engine's per-event fallback path, which already benefits from"
-        " vectorized routing\n"
+        " 296ad4d); after = screened batch kernel;\nscalar-oracle = the"
+        " REPRO_SCALAR_CACHE=1 reference path, which already benefits"
+        " from vectorized routing\n"
     )
     emit("replay_throughput", text)
 
-    # The refactor's acceptance bar: >=3x on both headline backends.
-    # Allow a little slack for a noisy host; the recorded results file
-    # holds the representative numbers.
-    assert speedups["baseline"] > 2.0, speedups
-    assert speedups["omega"] > 2.0, speedups
+    # The refactor's acceptance bar: >=2.5x on both headline backends
+    # over the pre-refactor loop. The recorded results file holds the
+    # representative numbers.
+    assert speedups["baseline"] > 2.5, speedups
+    assert speedups["omega"] > 2.5, speedups

@@ -36,13 +36,22 @@ __all__ = [
     "WORD_BYTES",
     "CACHE_LINE_BYTES",
     "TRACE_FORMAT_VERSION",
+    "READABLE_TRACE_VERSIONS",
 ]
 
 #: On-disk trace-archive format version. Version 1 added the
 #: ``format_version`` scalar and the optional address-space region
-#: metadata columns; archives written before versioning (no
-#: ``format_version`` entry) are still accepted as legacy.
-TRACE_FORMAT_VERSION = 1
+#: metadata columns; version 2 marks archives produced by the layered
+#: replay engine (same columns — the bump reserves the number for the
+#: batch-kernel era so downstream caches can tell generations apart).
+#: Archives written before versioning (no ``format_version`` entry)
+#: are still accepted as legacy.
+TRACE_FORMAT_VERSION = 2
+
+#: Archive versions :meth:`Trace.load` reads. Version-1 archives are
+#: column-compatible with version 2, so both load; anything newer is
+#: rejected rather than misread.
+READABLE_TRACE_VERSIONS = frozenset({1, 2})
 
 #: Machine word size (the paper's max vtxProp entry is 8 bytes).
 WORD_BYTES = 8
@@ -294,8 +303,8 @@ class Trace:
         """Load a trace previously written by :meth:`save`.
 
         Raises :class:`~repro.errors.TraceError` when the archive is
-        not a trace, or carries a ``format_version`` other than
-        :data:`TRACE_FORMAT_VERSION` (legacy archives without the
+        not a trace, or carries a ``format_version`` outside
+        :data:`READABLE_TRACE_VERSIONS` (legacy archives without the
         version entry load as before).
         """
         with np.load(path) as data:
@@ -309,10 +318,11 @@ class Trace:
                 )
             if "format_version" in data.files:
                 version = int(data["format_version"])
-                if version != TRACE_FORMAT_VERSION:
+                if version not in READABLE_TRACE_VERSIONS:
+                    readable = sorted(READABLE_TRACE_VERSIONS)
                     raise TraceError(
                         f"{path} has trace format version {version};"
-                        f" this build reads version {TRACE_FORMAT_VERSION}"
+                        f" this build reads versions {readable}"
                     )
             regions: Tuple[Region, ...] = ()
             if "region_base" in data.files:

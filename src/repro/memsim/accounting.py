@@ -1,0 +1,201 @@
+"""Batch accounting: fold routed event families into the counters.
+
+Everything that is not the stateful cache path is charged here, in
+numpy, over whole route subsets at once: per-core latency sums fold
+with ``np.bincount`` (which accumulates each core's partial sum in
+event order, so the results are bit-identical to a per-event scalar
+loop), and traffic/occupancy counters are plain reductions.
+
+:class:`ReplayContext` is the mutable bag of per-replay state the
+engine shares with a backend: the model objects, the stats sink, and
+backend-supplied routing overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.ligra.trace import Trace
+from repro.memsim.cachestate import CacheSystem
+from repro.memsim.dram import DramModel
+from repro.memsim.interconnect import Crossbar
+from repro.memsim.pisc import Microcode, PiscEngine
+from repro.memsim.prepass import TracePrepass
+from repro.memsim.routes import transfer_latency_many
+from repro.memsim.srcbuffer import SourceVertexBuffer
+from repro.memsim.stats import MemStats
+
+__all__ = [
+    "ReplayContext",
+    "add_core_sums",
+    "account_latencies",
+    "account_sp_plain",
+    "account_sp_rmw",
+    "account_offload",
+]
+
+
+@dataclass
+class ReplayContext:
+    """Mutable per-replay state shared between the engine and a backend."""
+
+    config: SimConfig
+    stats: MemStats
+    dram: DramModel
+    crossbar: Crossbar
+    system: CacheSystem
+    ncores: int
+    piscs: Optional[List[PiscEngine]] = None
+    srcbufs: Optional[List[SourceVertexBuffer]] = None
+    #: Backend-supplied scratchpad home/locality overrides (the dynamic
+    #: backend homes by ``vertex % ncores`` instead of the mapping).
+    sp_home: Optional[np.ndarray] = None
+    sp_local: Optional[np.ndarray] = None
+    extra: dict = field(default_factory=dict)
+
+
+def add_core_sums(target: List[float], cores: np.ndarray,
+                  weights: np.ndarray, ncores: int) -> None:
+    """``target[c] += sum(weights where cores == c)`` via bincount."""
+    sums = np.bincount(cores, weights=weights, minlength=ncores)
+    for c in range(ncores):
+        target[c] += float(sums[c])
+
+
+def account_latencies(ctx: ReplayContext, cores: np.ndarray,
+                      lat: np.ndarray, atomic: np.ndarray) -> None:
+    """Fold per-event latencies into the per-core sums.
+
+    Atomic events get the core-executed split: a fraction of the
+    latency (plus the fixed stall) serializes the pipeline, the rest
+    overlaps as ordinary memory latency.
+    """
+    stats = ctx.stats
+    core_cfg = ctx.config.core
+    ser = core_cfg.atomic_serialization
+    stall = core_cfg.atomic_stall_cycles
+    n_atomic = int(np.count_nonzero(atomic))
+    mem = np.where(atomic, lat * (1.0 - ser), lat)
+    add_core_sums(stats.core_mem_latency, cores, mem, ctx.ncores)
+    if n_atomic:
+        stats.atomics_total += n_atomic
+        stats.atomics_on_cores += n_atomic
+        srl = np.where(atomic, lat * ser + stall, 0.0)
+        add_core_sums(stats.core_serial_cycles, cores, srl, ctx.ncores)
+
+
+def account_sp_plain(ctx: ReplayContext, trace: Trace,
+                     prepass: TracePrepass, idx: np.ndarray,
+                     home: np.ndarray, local_mask: np.ndarray) -> None:
+    """Plain scratchpad reads/writes: word packets, SP latency."""
+    if len(idx) == 0:
+        return
+    stats = ctx.stats
+    config = ctx.config
+    cores = np.asarray(trace.core[idx], dtype=np.int64)
+    local = local_mask[idx]
+    n = len(idx)
+    remote = ~local
+    n_remote = int(np.count_nonzero(remote))
+    n_local = n - n_remote
+    stats.sp_local_accesses += n_local
+    stats.sp_plain_local += n_local
+    stats.sp_remote_accesses += n_remote
+    stats.sp_plain_remote += n_remote
+    lat = np.full(n, float(config.scratchpad.latency_cycles))
+    if n_remote:
+        header = config.interconnect.header_bytes
+        lat[remote] += transfer_latency_many(
+            ctx.crossbar, cores[remote], home[idx][remote]
+        )
+        rbytes = int(prepass.nbytes[idx][remote].sum())
+        ctx.crossbar.word_packets += n_remote
+        ctx.crossbar.word_bytes += rbytes + n_remote * header
+        stats.onchip_word_bytes += rbytes + n_remote * header
+    account_latencies(ctx, cores, lat, prepass.atomic[idx])
+
+
+def account_sp_rmw(ctx: ReplayContext, trace: Trace,
+                   prepass: TracePrepass, idx: np.ndarray,
+                   home: np.ndarray, local_mask: np.ndarray) -> None:
+    """Core-executed RMW on scratchpad words (OMEGA without PISCs)."""
+    if len(idx) == 0:
+        return
+    stats = ctx.stats
+    config = ctx.config
+    cores = np.asarray(trace.core[idx], dtype=np.int64)
+    local = local_mask[idx]
+    n = len(idx)
+    remote = ~local
+    n_remote = int(np.count_nonzero(remote))
+    stats.sp_local_accesses += n - n_remote
+    stats.sp_remote_accesses += n_remote
+    # Read + write of the word.
+    lat = np.full(n, float(config.scratchpad.latency_cycles * 2))
+    if n_remote:
+        header = config.interconnect.header_bytes
+        lat[remote] += 2.0 * transfer_latency_many(
+            ctx.crossbar, cores[remote], home[idx][remote]
+        )
+        rbytes = int(prepass.nbytes[idx][remote].sum())
+        ctx.crossbar.word_packets += 2 * n_remote
+        ctx.crossbar.word_bytes += 2 * (rbytes + n_remote * header)
+        stats.onchip_word_bytes += 2 * (rbytes + n_remote * header)
+    account_latencies(ctx, cores, lat, np.ones(n, dtype=bool))
+
+
+def account_offload(ctx: ReplayContext, trace: Trace,
+                    prepass: TracePrepass, idx: np.ndarray,
+                    microcode: Microcode, home: np.ndarray,
+                    local_mask: np.ndarray) -> None:
+    """Fire-and-forget PISC offloads: issue cost + pad occupancy."""
+    if len(idx) == 0:
+        return
+    stats = ctx.stats
+    config = ctx.config
+    n = len(idx)
+    cores = np.asarray(trace.core[idx], dtype=np.int64)
+    n_atomic = int(np.count_nonzero(prepass.atomic[idx]))
+    stats.atomics_total += n_atomic
+    stats.atomics_offloaded += n_atomic
+    stats.pisc_ops += n
+    issue = config.core.offload_issue_cycles
+    counts = np.bincount(cores, minlength=ctx.ncores)
+    serial = stats.core_serial_cycles
+    for c in range(ctx.ncores):
+        serial[c] += float(counts[c]) * issue
+
+    homes = np.asarray(home[idx], dtype=np.int64)
+    verts = np.asarray(trace.vertex[idx], dtype=np.int64)
+    cycles = microcode.cycles
+    occupancy = stats.pisc_occupancy
+    for p in range(ctx.ncores):
+        vs = verts[homes == p]
+        cnt = len(vs)
+        if not cnt:
+            continue
+        pisc = ctx.piscs[p]
+        pisc.ops_executed += cnt
+        pisc.busy_cycles += cnt * cycles
+        # Same-vertex back-to-back ops serialize on the pad controller.
+        conflicts = int(np.count_nonzero(vs[1:] == vs[:-1]))
+        if vs[0] == pisc._last_vertex:
+            conflicts += 1
+        pisc.conflict_cycles += conflicts * cycles
+        pisc._last_vertex = int(vs[-1])
+        occupancy[p] += cnt * cycles
+
+    local = local_mask[idx]
+    n_remote = int(np.count_nonzero(~local))
+    stats.sp_local_accesses += n - n_remote
+    stats.sp_remote_accesses += n_remote
+    if n_remote:
+        header = config.interconnect.header_bytes
+        rbytes = int(prepass.nbytes[idx][~local].sum())
+        ctx.crossbar.word_packets += n_remote
+        ctx.crossbar.word_bytes += rbytes + n_remote * header
+        stats.onchip_word_bytes += rbytes + n_remote * header

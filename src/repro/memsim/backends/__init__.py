@@ -1,0 +1,35 @@
+"""Hierarchy backends: one module per design, plus the registry.
+
+Importing this package registers the five built-in backends
+(``baseline``, ``omega``, ``locked``, ``graphpim``, ``dynamic``) and
+exposes the registry surface (:data:`BACKENDS`,
+:func:`register_backend`, :func:`get_backend`, :func:`backend_names`)
+together with the :class:`HierarchyBackend` protocol.
+"""
+
+from repro.memsim.backends.base import HierarchyBackend
+from repro.memsim.backends.baseline import BaselineBackend
+from repro.memsim.backends.dynamic import DynamicScratchpadBackend
+from repro.memsim.backends.graphpim import GraphPimBackend, PimConfig
+from repro.memsim.backends.locked import LockedCacheBackend
+from repro.memsim.backends.omega import OmegaBackend
+from repro.memsim.backends.registry import (
+    BACKENDS,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "HierarchyBackend",
+    "BaselineBackend",
+    "OmegaBackend",
+    "LockedCacheBackend",
+    "GraphPimBackend",
+    "DynamicScratchpadBackend",
+    "PimConfig",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+]

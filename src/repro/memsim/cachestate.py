@@ -1,0 +1,786 @@
+"""The stateful cache path: set-associative state and the batch kernel.
+
+:class:`CacheSystem` owns everything a cache-routed event can touch —
+per-core L1s, the banked L2, the MESI directory, the stream
+prefetcher, DRAM row state, interconnect accounting — and replays
+pre-routed event batches over it. Two execution paths produce
+*bit-identical* results:
+
+- the **scalar oracle** (:meth:`CacheSystem.access`, driven by
+  :meth:`CacheSystem._replay_generic`): one event per Python
+  iteration, the seed semantics. Forced with ``REPRO_SCALAR_CACHE=1``
+  in the environment or ``HierarchyBackend.force_scalar_cache``.
+- the **batch kernel** (:meth:`CacheSystem._replay_kernel`): a
+  vectorized screening pass resolves every *guaranteed hit* in one
+  numpy sweep (latency, counters, and LRU effect all known without
+  touching state), and only the residual events — those that can
+  conflict on a cache set, miss, or carry coherence side effects —
+  serialize through the inlined loop.
+
+The batch-segmentation invariant the kernel relies on
+(:func:`screen_guaranteed_hits`): an event whose *immediately
+preceding same-line event in the batch* was issued by the same core
+with no intervening same-(core, L1-set) event is a guaranteed L1 hit
+whose ``move_to_end`` is a no-op — the line is still the set's MRU
+entry — so the event has **no state effect at all** and exactly
+``l1_latency`` cost. Writes additionally require that predecessor to
+be a write, so the dirty bit and the directory's exclusive-owner
+entry are already established and the directory transition is
+idempotent. Such events never enter the serialized loop; their
+latency is prefilled and their hit counts fall out of the per-core
+complement (events minus misses).
+
+Unlike the pre-refactor fast path, the kernel covers **every**
+interconnect topology and DRAM page policy: mesh hop latencies are
+precomputed per (core, bank) pair, and the open/hybrid-page row-buffer
+state machine is inlined with per-event channel/row columns computed
+vectorized up front.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.memsim.cache import Cache
+from repro.memsim.coherence import Directory
+from repro.memsim.dram import DramModel
+from repro.memsim.geometry import BankGeometry
+from repro.memsim.interconnect import Crossbar
+from repro.memsim.prepass import StreamDetector
+from repro.memsim.stats import MemStats
+
+__all__ = [
+    "CacheSystem",
+    "SCALAR_CACHE_ENV",
+    "iter_set_bits",
+    "scalar_cache_forced",
+    "screen_guaranteed_hits",
+]
+
+#: Environment variable forcing the scalar reference oracle.
+SCALAR_CACHE_ENV = "REPRO_SCALAR_CACHE"
+
+
+def scalar_cache_forced() -> bool:
+    """Whether ``REPRO_SCALAR_CACHE=1`` selects the scalar oracle."""
+    return os.environ.get(SCALAR_CACHE_ENV, "") == "1"
+
+
+def iter_set_bits(mask: int) -> Iterator[int]:
+    """Yield the positions of the set bits of ``mask``, LSB first.
+
+    The shared form of the sharer-bitmask walks (invalidation targets
+    are the set bits of a directory mask).
+    """
+    pos = 0
+    while mask:
+        if mask & 1:
+            yield pos
+        mask >>= 1
+        pos += 1
+
+
+def screen_guaranteed_hits(
+    cores: np.ndarray,
+    lines: np.ndarray,
+    writes: np.ndarray,
+    num_sets: int,
+) -> np.ndarray:
+    """Mark events that provably have *no effect* on cache state.
+
+    Returns a boolean mask over the batch. A marked event satisfies,
+    within the batch:
+
+    1. the immediately preceding event on the same cache line was
+       issued by the same core (so nothing — no other core's write, no
+       invalidation — touched the line in between);
+    2. no other event touched the same (core, L1-set) slot in between
+       (so the line is still that set's MRU entry: it cannot have been
+       evicted, and the LRU touch the event would apply is a no-op);
+    3. a write's predecessor is itself a write (so the dirty bit is
+       already set and the directory already records this core as the
+       exclusive owner — the write's directory transition is
+       idempotent and triggers no invalidations or writebacks).
+
+    Such an event is an L1 hit costing exactly ``l1_latency`` whose
+    replay changes nothing: the kernel resolves it entirely in this
+    vectorized pass and drops it from the serialized loop. All three
+    conditions are trace-structural — they depend only on the batch's
+    event order, never on cache state — which is what makes screening
+    a single numpy sweep.
+    """
+    n = len(lines)
+    out = np.zeros(n, dtype=bool)
+    if n < 2:
+        return out
+    cores = np.asarray(cores, dtype=np.int64)
+    lines = np.asarray(lines, dtype=np.int64)
+    writes = np.asarray(writes, dtype=bool)
+    # Rank of each event within its (core, L1-set) slot subsequence.
+    slot = cores * num_sets + lines % num_sets
+    so = np.argsort(slot, kind="stable")
+    ss = slot[so]
+    starts = np.flatnonzero(np.concatenate(([True], ss[1:] != ss[:-1])))
+    sizes = np.diff(np.concatenate((starts, [n])))
+    rank = np.empty(n, dtype=np.int64)
+    rank[so] = np.arange(n, dtype=np.int64) - np.repeat(starts, sizes)
+    # Group by line (stable: within a group, batch order is kept) and
+    # test each event against its immediate same-line predecessor.
+    lo = np.argsort(lines, kind="stable")
+    gl = lines[lo]
+    gc = cores[lo]
+    gw = writes[lo]
+    gr = rank[lo]
+    ok = np.zeros(n, dtype=bool)
+    ok[1:] = (
+        (gl[1:] == gl[:-1])          # same line ...
+        & (gc[1:] == gc[:-1])        # ... same core (condition 1)
+        & (gr[1:] - gr[:-1] == 1)    # slot-adjacent (condition 2)
+        & (~gw[1:] | gw[:-1])        # writes follow writes (condition 3)
+    )
+    out[lo] = ok
+    return out
+
+
+class CacheSystem:
+    """The shared cache path: L1s + banked L2 + directory + DRAM.
+
+    Exposes both the scalar :meth:`access` (seed semantics, the
+    reference oracle) and :meth:`replay_cache_path`, which screens the
+    batch for guaranteed hits and serializes only the residual events
+    through a fully inlined loop. ``fast_path_ok`` selects the kernel;
+    it starts ``False`` only when ``REPRO_SCALAR_CACHE=1`` is set, and
+    backends flip it off for ``force_scalar_cache``.
+    """
+
+    def __init__(self, config: SimConfig, stats: MemStats,
+                 dram: DramModel, crossbar: Crossbar) -> None:
+        ncores = config.core.num_cores
+        self.config = config
+        self.stats = stats
+        self.dram = dram
+        self.crossbar = crossbar
+        self.l1s = [Cache(config.l1, f"l1.{c}") for c in range(ncores)]
+        self.l2_banks = [
+            Cache(config.l2_per_core, f"l2.{b}") for b in range(ncores)
+        ]
+        self.directory = Directory(ncores)
+        self.ncores = ncores
+        self.geometry = BankGeometry(
+            num_banks=ncores, line_bytes=config.l1.line_bytes
+        )
+        # Kept as attributes for backward compatibility; all derived
+        # from the shared BankGeometry helper.
+        self.bank_mask = self.geometry.bank_mask
+        self.bank_bits = self.geometry.bank_bits
+        self.line_bytes = self.geometry.line_bytes
+        self.line_bits = self.geometry.line_bits
+        self.l1_lat = config.l1.latency_cycles
+        self.l2_lat = config.l2_per_core.latency_cycles
+        self.remote_lat = config.interconnect.remote_latency_cycles
+        # An OoO core's stride prefetcher hides the latency of
+        # sequential line streams (edgeList scans); the fetch itself
+        # (traffic, cache fills) still happens.
+        self.prefetcher = StreamDetector(ncores)
+        #: Whether replay_cache_path may use the batch kernel. The
+        #: kernel covers every topology and page policy; only the
+        #: escape hatches disable it.
+        self.fast_path_ok = not scalar_cache_forced()
+
+    def _prefetched(self, core: int, line: int) -> bool:
+        """Stride detection: is ``line`` the next line of a live stream?"""
+        return self.prefetcher.observe(core, line)
+
+    # ------------------------------------------------------------------
+    # Scalar oracle (reference semantics + external callers)
+    # ------------------------------------------------------------------
+    def access(self, core: int, addr: int, write: bool) -> float:
+        """One cache-path access; returns the latency seen by the core."""
+        line = addr >> self.line_bits
+        stats = self.stats
+        l1 = self.l1s[core]
+        latency = float(self.l1_lat)
+        hit, dirty_victim = l1.access_line(line, write)
+        if hit:
+            stats.l1_hits += 1
+            if write:
+                inval_mask, writeback = self.directory.on_write(line, core)
+                if inval_mask:
+                    latency += self._invalidate(inval_mask, line, core)
+                if writeback:
+                    latency += self._fetch_modified(line)
+            return latency
+
+        stats.l1_misses += 1
+        # Coherence action for the fill.
+        if write:
+            inval_mask, writeback = self.directory.on_write(line, core)
+            if inval_mask:
+                latency += self._invalidate(inval_mask, line, core)
+        else:
+            _, writeback = self.directory.on_read(line, core)
+        if writeback:
+            latency += self._fetch_modified(line)
+        if dirty_victim is not None:
+            self._writeback_to_l2(dirty_victim, core)
+            self.directory.on_eviction(dirty_victim, core)
+
+        # L2 lookup at the line's home bank.
+        bank = line & self.bank_mask
+        bank_key = line >> self.bank_bits
+        if bank != core:
+            latency += self.crossbar.line_transfer(self.line_bytes, core, bank)
+            stats.onchip_line_bytes += (
+                self.line_bytes + self.crossbar.config.header_bytes
+            )
+        latency += self.l2_lat
+        l2hit, l2_dirty_victim = self.l2_banks[bank].access_line(bank_key, write)
+        if l2hit:
+            stats.l2_hits += 1
+        else:
+            stats.l2_misses += 1
+            stats.dram_read_bytes += self.line_bytes
+            latency += self.dram.read(self.line_bytes, addr)
+        if l2_dirty_victim is not None:
+            victim_addr = self.geometry.victim_addr(l2_dirty_victim, bank)
+            self.dram.write(self.line_bytes, victim_addr)
+            stats.dram_write_bytes += self.line_bytes
+        # A stream prefetcher hides the fill latency of sequential line
+        # runs; the traffic and cache-state changes above still stand.
+        if self.prefetcher.observe(core, line):
+            stats.prefetch_hits += 1
+            latency = float(self.l1_lat + 1)
+        return latency
+
+    def _invalidate(self, inval_mask: int, line: int, writer: int) -> float:
+        """Invalidate other cores' L1 copies; returns added latency."""
+        stats = self.stats
+        for c in iter_set_bits(inval_mask):
+            self.l1s[c].invalidate_line(line)
+            stats.onchip_word_bytes += self.crossbar.config.header_bytes
+            self.crossbar.control_message()
+            stats.coherence_invalidations += 1
+        # The writer waits one round trip for the acks, not one per copy.
+        return float(self.remote_lat)
+
+    def _fetch_modified(self, line: int) -> float:
+        """Cache-to-cache transfer of a modified line."""
+        self.stats.onchip_line_bytes += (
+            self.line_bytes + self.crossbar.config.header_bytes
+        )
+        return float(self.crossbar.line_transfer(self.line_bytes))
+
+    def _writeback_to_l2(self, line: int, core: int) -> None:
+        """Write a dirty L1 victim back to its L2 bank."""
+        bank = line & self.bank_mask
+        bank_key = line >> self.bank_bits
+        if bank != core:
+            self.crossbar.line_transfer(self.line_bytes, core, bank)
+            self.stats.onchip_line_bytes += (
+                self.line_bytes + self.crossbar.config.header_bytes
+            )
+        _, l2_dirty_victim = self.l2_banks[bank].access_line(bank_key, True)
+        if l2_dirty_victim is not None:
+            victim_addr = self.geometry.victim_addr(l2_dirty_victim, bank)
+            self.dram.write(self.line_bytes, victim_addr)
+            self.stats.dram_write_bytes += self.line_bytes
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def replay_cache_path(
+        self,
+        cores: np.ndarray,
+        addrs: np.ndarray,
+        lines: np.ndarray,
+        banks: np.ndarray,
+        bank_keys: np.ndarray,
+        writes: np.ndarray,
+        atomics: np.ndarray,
+        mem_lat: List[float],
+        serial: List[float],
+    ) -> None:
+        """Replay every cache-routed event (arrays already subset-sliced).
+
+        Per-core memory-latency and serialization sums accumulate into
+        ``mem_lat``/``serial``; atomic events get the core-executed
+        split (``atomic_serialization`` of the latency serializes, plus
+        the fixed stall).
+        """
+        if len(cores) == 0:
+            return
+        cores64 = np.asarray(cores, dtype=np.int64)
+        if not self.fast_path_ok:
+            self._replay_generic(
+                cores64.tolist(),
+                np.asarray(addrs, dtype=np.int64).tolist(),
+                np.asarray(writes).tolist(),
+                np.asarray(atomics).tolist(),
+                mem_lat, serial,
+            )
+            return
+        lats = self._replay_kernel(
+            cores64,
+            np.asarray(addrs, dtype=np.int64),
+            np.asarray(lines, dtype=np.int64),
+            np.asarray(banks, dtype=np.int64),
+            np.asarray(bank_keys, dtype=np.int64),
+            np.asarray(writes, dtype=bool),
+        )
+        # Latency accounting happens vectorized, after the loop: the
+        # atomic split and per-core sums fold via bincount.
+        core_cfg = self.config.core
+        ser = core_cfg.atomic_serialization
+        stall = core_cfg.atomic_stall_cycles
+        atom = np.asarray(atomics, dtype=bool)
+        lat = np.asarray(lats)
+        n_atomic = int(np.count_nonzero(atom))
+        mem = np.where(atom, lat * (1.0 - ser), lat)
+        # np.add.at accumulates element-by-element in event order, so
+        # the float association matches the scalar oracle exactly even
+        # when the batch is a window segment of a longer replay
+        # (bincount would fold a partial sum and drift by one ULP).
+        mem_sums = np.asarray(mem_lat, dtype=np.float64)
+        np.add.at(mem_sums, cores64, mem)
+        mem_lat[:] = mem_sums.tolist()
+        if n_atomic:
+            self.stats.atomics_total += n_atomic
+            self.stats.atomics_on_cores += n_atomic
+            srl = np.where(atom, lat * ser + stall, 0.0)
+            ser_sums = np.asarray(serial, dtype=np.float64)
+            np.add.at(ser_sums, cores64, srl)
+            serial[:] = ser_sums.tolist()
+
+    def _replay_generic(self, cores, addrs, writes, atomics,
+                        mem_lat, serial) -> None:
+        """Scalar oracle: per-event :meth:`access` (seed semantics)."""
+        stats = self.stats
+        access = self.access
+        core_cfg = self.config.core
+        atomic_stall = core_cfg.atomic_stall_cycles
+        atomic_ser = core_cfg.atomic_serialization
+        for core, addr, write, atomic in zip(cores, addrs, writes, atomics):
+            latency = access(core, addr, write)
+            if atomic:
+                stats.atomics_total += 1
+                stats.atomics_on_cores += 1
+                serial[core] += latency * atomic_ser + atomic_stall
+                mem_lat[core] += latency * (1.0 - atomic_ser)
+            else:
+                mem_lat[core] += latency
+
+    def _replay_kernel(self, cores, addrs, lines, banks, bank_keys, writes):
+        """Screened batch kernel: numpy for guaranteed hits, a
+        serialized loop for the residual.
+
+        Mirrors :meth:`access` operation-for-operation on the residual
+        events but keeps every counter in a local and touches the
+        cache/directory/prefetcher dicts directly, flushing totals back
+        to the model objects once at the end. Guaranteed hits
+        (:func:`screen_guaranteed_hits`) never enter the loop: their
+        latency is prefilled with the L1 latency and their effects are
+        provably nil. Returns the per-event latency list for the whole
+        batch; the caller folds it into the per-core sums vectorized.
+        """
+        config = self.config
+        ncores = self.ncores
+        l1_nsets = self.l1s[0]._num_sets
+        l1_ways = self.l1s[0]._ways
+        l2_nsets = self.l2_banks[0]._num_sets
+        l2_ways = self.l2_banks[0]._ways
+        l1_sets = [c._sets for c in self.l1s]
+        l2_sets = [b._sets for b in self.l2_banks]
+        dir_lines = self.directory._lines
+        flat_l1 = [s for c in self.l1s for s in c._sets]
+        flat_l2 = [s for b in self.l2_banks for s in b._sets]
+        # Prefetcher state, inlined for the L1-miss path (same lists
+        # the StreamDetector mutates, so state stays coherent).
+        pref = self.prefetcher
+        p_heads = pref._heads
+        p_next = pref._next
+        p_want = pref._want
+        num_heads = pref.num_heads
+
+        n = len(cores)
+        # The vectorized pass: set indices are state-independent, and
+        # the screen resolves every guaranteed hit without state.
+        s1i = cores * l1_nsets + lines % l1_nsets
+        l2i = banks * l2_nsets + bank_keys % l2_nsets
+        skip = screen_guaranteed_hits(cores, lines, writes, l1_nsets)
+        keep = np.flatnonzero(~skip)
+
+        # Interconnect latencies are per-(core, bank) constants under
+        # both topologies; precompute the table the miss path indexes.
+        xcfg = self.crossbar.config
+        if xcfg.topology == "crossbar":
+            bank_lat = [[self.remote_lat] * ncores] * ncores
+            wb_lat = self.remote_lat
+        else:
+            bank_lat = [
+                [self.crossbar.transfer_latency(c, b) for b in range(ncores)]
+                for c in range(ncores)
+            ]
+            wb_lat = self.crossbar.transfer_latency()
+        # Invalidation acks cost one crossbar round trip regardless of
+        # topology (matches _invalidate).
+        remote_lat = self.remote_lat
+
+        # DRAM page policy: closed is a constant; open/hybrid run the
+        # per-channel row-buffer machine with vectorized per-event
+        # channel/row columns (hybrid's random ranges resolved up
+        # front; victim write-backs compute theirs in-loop).
+        dram = self.dram
+        dcfg = config.dram
+        closed_page = dcfg.page_policy == "closed"
+        dram_lat = dcfg.latency_cycles
+        if closed_page:
+            track_rows = False
+            chan_l = row_l = rand_l = None
+            channels = row_bytes = row_hit_cyc = row_miss_cyc = 0
+            open_rows = None
+            ranges = ()
+        else:
+            track_rows = True
+            channels = dcfg.channels
+            row_bytes = dcfg.row_bytes
+            row_hit_cyc = dcfg.row_hit_cycles
+            row_miss_cyc = dcfg.row_miss_cycles
+            open_rows = list(dram._open_rows)
+            # Only the hybrid policy consults the random ranges; plain
+            # open-page runs the row machine for every access.
+            ranges = (
+                list(dram._random_ranges)
+                if dcfg.page_policy == "hybrid" else []
+            )
+            kept_addrs = addrs[keep]
+            chan_l = ((kept_addrs // 64) % channels).tolist()
+            row_l = (kept_addrs // row_bytes).tolist()
+            if ranges:
+                rand = np.zeros(len(keep), dtype=bool)
+                for lo_a, hi_a in ranges:
+                    rand |= (kept_addrs >= lo_a) & (kept_addrs < hi_a)
+                rand_l = rand.tolist()
+            else:
+                rand_l = [False] * len(keep)
+        rowh = 0
+        rowm = 0
+
+        # Residual (serialized) columns.
+        cores_l = cores[keep].tolist()
+        lines_l = lines[keep].tolist()
+        writes_l = writes[keep].tolist()
+        s1i_l = s1i[keep].tolist()
+        banks_l = banks[keep].tolist()
+        keys_l = bank_keys[keep].tolist()
+        l2i_l = l2i[keep].tolist()
+        keep_l = keep.tolist()
+
+        l1_lat = float(self.l1_lat)
+        pref_lat = float(self.l1_lat + 1)
+        l2_lat = self.l2_lat
+        line_bytes = self.line_bytes
+        line_bits = self.line_bits
+        header = xcfg.header_bytes
+        lb_h = line_bytes + header
+        bank_mask = self.bank_mask
+        bank_bits = self.bank_bits
+
+        l1h = [0] * ncores
+        l1m = [0] * ncores
+        l1e = [0] * ncores
+        l1de = [0] * ncores
+        l2h = [0] * ncores
+        l2m = [0] * ncores
+        l2e = [0] * ncores
+        l2de = [0] * ncores
+        s_l2_hits = 0
+        s_l2_misses = 0
+        s_pref = 0
+        s_onchip_line = 0
+        s_onchip_word = 0
+        s_coh_inv = 0
+        s_dram_rd = 0
+        s_dram_wr = 0
+        x_line_pkts = 0
+        x_ctrl_pkts = 0
+        d_inval = 0
+        d_wb = 0
+        dram_racc = 0
+        dram_wacc = 0
+
+        def victim_write(vaddr: int) -> None:
+            """Row-state effect of a posted victim write-back."""
+            nonlocal rowh, rowm
+            for lo_a, hi_a in ranges:
+                if lo_a <= vaddr < hi_a:
+                    return
+            ch = (vaddr // 64) % channels
+            row = vaddr // row_bytes
+            if open_rows[ch] == row:
+                rowh += 1
+            else:
+                rowm += 1
+                open_rows[ch] = row
+
+        # Guaranteed hits cost exactly the L1 latency; the loop only
+        # overwrites residual events' entries.
+        lats = [l1_lat] * n
+        i = -1
+        for core, line, write, si in zip(cores_l, lines_l, writes_l, s1i_l):
+            i += 1
+            s = flat_l1[si]
+            if line in s:
+                s.move_to_end(line)
+                if write:
+                    s[line] = True
+                    me = 1 << core
+                    entry = dir_lines.get(line)
+                    if entry is None:
+                        dir_lines[line] = [me, core]
+                    else:
+                        mask0, owner = entry
+                        others = mask0 & ~me
+                        wb = owner >= 0 and owner != core
+                        entry[0] = me
+                        entry[1] = core
+                        if wb:
+                            d_wb += 1
+                        extra = 0
+                        if others:
+                            lsi = line % l1_nsets
+                            for c in iter_set_bits(others):
+                                sc = l1_sets[c][lsi]
+                                if line in sc:
+                                    del sc[line]
+                                s_onchip_word += header
+                                x_ctrl_pkts += 1
+                                s_coh_inv += 1
+                                d_inval += 1
+                            extra = remote_lat
+                        if wb:
+                            s_onchip_line += lb_h
+                            x_line_pkts += 1
+                            extra += wb_lat
+                        if extra:
+                            lats[keep_l[i]] = l1_lat + extra
+            else:
+                latency = l1_lat
+                l1m[core] += 1
+                dirty_victim = -1
+                if len(s) >= l1_ways:
+                    victim_line, was_dirty = s.popitem(last=False)
+                    l1e[core] += 1
+                    if was_dirty:
+                        l1de[core] += 1
+                        dirty_victim = victim_line
+                s[line] = write
+                me = 1 << core
+                entry = dir_lines.get(line)
+                if write:
+                    if entry is None:
+                        dir_lines[line] = [me, core]
+                    else:
+                        mask0, owner = entry
+                        others = mask0 & ~me
+                        wb = owner >= 0 and owner != core
+                        entry[0] = me
+                        entry[1] = core
+                        if wb:
+                            d_wb += 1
+                        if others:
+                            lsi = line % l1_nsets
+                            for c in iter_set_bits(others):
+                                sc = l1_sets[c][lsi]
+                                if line in sc:
+                                    del sc[line]
+                                s_onchip_word += header
+                                x_ctrl_pkts += 1
+                                s_coh_inv += 1
+                                d_inval += 1
+                            latency += remote_lat
+                        if wb:
+                            s_onchip_line += lb_h
+                            x_line_pkts += 1
+                            latency += wb_lat
+                else:
+                    if entry is None:
+                        dir_lines[line] = [me, -1]
+                    else:
+                        mask0, owner = entry
+                        if owner >= 0 and owner != core:
+                            d_wb += 1
+                            entry[1] = -1
+                            s_onchip_line += lb_h
+                            x_line_pkts += 1
+                            latency += wb_lat
+                        entry[0] = mask0 | me
+
+                if dirty_victim >= 0:
+                    vbank = dirty_victim & bank_mask
+                    vkey = dirty_victim >> bank_bits
+                    if vbank != core:
+                        x_line_pkts += 1
+                        s_onchip_line += lb_h
+                    s2 = l2_sets[vbank][vkey % l2_nsets]
+                    if vkey in s2:
+                        l2h[vbank] += 1
+                        s2.move_to_end(vkey)
+                        s2[vkey] = True
+                    else:
+                        l2m[vbank] += 1
+                        if len(s2) >= l2_ways:
+                            v2, d2 = s2.popitem(last=False)
+                            l2e[vbank] += 1
+                            if d2:
+                                l2de[vbank] += 1
+                                dram_wacc += 1
+                                s_dram_wr += line_bytes
+                                if track_rows:
+                                    victim_write(
+                                        ((v2 << bank_bits) | vbank)
+                                        << line_bits
+                                    )
+                        s2[vkey] = True
+                    entry = dir_lines.get(dirty_victim)
+                    if entry is not None:
+                        entry[0] &= ~me
+                        if entry[1] == core:
+                            entry[1] = -1
+                        if entry[0] == 0:
+                            del dir_lines[dirty_victim]
+
+                bank = banks_l[i]
+                if bank != core:
+                    latency += bank_lat[core][bank]
+                    x_line_pkts += 1
+                    s_onchip_line += lb_h
+                latency += l2_lat
+                bank_key = keys_l[i]
+                s2 = flat_l2[l2i_l[i]]
+                if bank_key in s2:
+                    l2h[bank] += 1
+                    s2.move_to_end(bank_key)
+                    if write:
+                        s2[bank_key] = True
+                    s_l2_hits += 1
+                else:
+                    l2m[bank] += 1
+                    dirty2 = -1
+                    if len(s2) >= l2_ways:
+                        v2, d2 = s2.popitem(last=False)
+                        l2e[bank] += 1
+                        if d2:
+                            l2de[bank] += 1
+                            dirty2 = v2
+                    s2[bank_key] = write
+                    s_l2_misses += 1
+                    s_dram_rd += line_bytes
+                    dram_racc += 1
+                    if track_rows:
+                        if rand_l[i]:
+                            latency += dram_lat
+                        else:
+                            ch = chan_l[i]
+                            row = row_l[i]
+                            if open_rows[ch] == row:
+                                rowh += 1
+                                latency += row_hit_cyc
+                            else:
+                                rowm += 1
+                                open_rows[ch] = row
+                                latency += row_miss_cyc
+                    else:
+                        latency += dram_lat
+                    if dirty2 >= 0:
+                        dram_wacc += 1
+                        s_dram_wr += line_bytes
+                        if track_rows:
+                            victim_write(
+                                ((dirty2 << bank_bits) | bank) << line_bits
+                            )
+                # Stream-prefetch detection (StreamDetector.observe,
+                # inlined): a line matching some head + 1 counts as
+                # prefetched and advances that head; otherwise it
+                # replaces a round-robin victim head.
+                want = p_want[core]
+                slots = want.get(line)
+                heads = p_heads[core]
+                nxt = line + 1
+                if slots:
+                    slot = min(slots)
+                    slots.remove(slot)
+                    if not slots:
+                        del want[line]
+                    heads[slot] = line
+                    ws = want.get(nxt)
+                    if ws is None:
+                        want[nxt] = [slot]
+                    else:
+                        ws.append(slot)
+                    s_pref += 1
+                    latency = pref_lat
+                else:
+                    slot = p_next[core]
+                    old = heads[slot] + 1
+                    stale = want.get(old)
+                    if stale:
+                        stale.remove(slot)
+                        if not stale:
+                            del want[old]
+                    heads[slot] = line
+                    ws = want.get(nxt)
+                    if ws is None:
+                        want[nxt] = [slot]
+                    else:
+                        ws.append(slot)
+                    p_next[core] = (slot + 1) % num_heads
+                lats[keep_l[i]] = latency
+
+        # Per-core L1 hits fall out of the per-core event counts: the
+        # loop only tallies misses, hits (screened or residual) are the
+        # complement.
+        ev_counts = np.bincount(cores, minlength=ncores)
+        for c in range(ncores):
+            l1h[c] = int(ev_counts[c]) - l1m[c]
+        stats = self.stats
+        stats.l1_hits += sum(l1h)
+        stats.l1_misses += sum(l1m)
+        stats.l2_hits += s_l2_hits
+        stats.l2_misses += s_l2_misses
+        stats.prefetch_hits += s_pref
+        stats.onchip_line_bytes += s_onchip_line
+        stats.onchip_word_bytes += s_onchip_word
+        stats.coherence_invalidations += s_coh_inv
+        stats.dram_read_bytes += s_dram_rd
+        stats.dram_write_bytes += s_dram_wr
+        for c in range(ncores):
+            l1 = self.l1s[c]
+            l1.hits += l1h[c]
+            l1.misses += l1m[c]
+            l1.evictions += l1e[c]
+            l1.dirty_evictions += l1de[c]
+            l2 = self.l2_banks[c]
+            l2.hits += l2h[c]
+            l2.misses += l2m[c]
+            l2.evictions += l2e[c]
+            l2.dirty_evictions += l2de[c]
+        self.directory.invalidations += d_inval
+        self.directory.writebacks += d_wb
+        xbar = self.crossbar
+        xbar.line_packets += x_line_pkts
+        xbar.line_bytes += x_line_pkts * lb_h
+        xbar.control_packets += x_ctrl_pkts
+        xbar.control_bytes += x_ctrl_pkts * header
+        dram.read_accesses += dram_racc
+        dram.read_bytes += s_dram_rd
+        dram.write_accesses += dram_wacc
+        dram.write_bytes += s_dram_wr
+        if track_rows:
+            dram.row_hits += rowh
+            dram.row_misses += rowm
+            dram._open_rows[:] = open_rows
+        return lats

@@ -1,55 +1,64 @@
-"""The unified, batch-vectorized trace-replay engine.
+"""Compatibility shim over the layered replay-engine package.
 
-Every memory hierarchy the repo models — baseline CMP, OMEGA,
-locked-cache, GraphPIM, dynamic scratchpad — is a *routing policy*
-over the same machinery:
+The engine used to live here as one module; it is now split by layer:
 
-1. a **vectorized pre-pass** (:mod:`repro.memsim.prepass`) classifies
-   the whole columnar trace in numpy before any stateful work: flag
-   masks, cache-line geometry, region classes, hot-vertex membership,
-   scratchpad homes;
-2. the backend's :meth:`HierarchyBackend.route` turns those arrays
-   into one route code per event (``ROUTE_*``);
-3. the events routed to the cache path run through the stateful
-   :class:`_CacheSystem` loop (the only part of a replay that must be
-   sequential — L1/L2 LRU state, the MESI directory, the stream
-   prefetcher); everything else is **accounted in batch** with
-   ``np.bincount`` sums.
+- :mod:`repro.memsim.cachestate` — the stateful cache path
+  (:class:`CacheSystem`: array-state set-associative model, the batch
+  kernel, and the scalar reference oracle behind
+  ``REPRO_SCALAR_CACHE=1``);
+- :mod:`repro.memsim.routes` — ``ROUTE_*`` codes, vectorized transfer
+  latencies, masked-route windowing;
+- :mod:`repro.memsim.accounting` — :class:`ReplayContext` and the
+  batch (bincount) accounting helpers;
+- :mod:`repro.memsim.backends` — one module per hierarchy variant
+  plus the registry;
+- :mod:`repro.memsim.replay` — the thin driver
+  (:func:`repro.memsim.replay.run_replay`).
 
-Backends register themselves under a short name (``"baseline"``,
-``"omega"``, ``"locked"``, ``"graphpim"``, ``"dynamic"``) so drivers
-and the CLI can select them with a string
-(:func:`get_backend` / ``run_system(..., backend="omega")``).
-
-The split preserves the scalar semantics exactly: integer counters
-are bit-identical to the pre-refactor per-event loops, and per-core
-latency sums differ only by float-summation order (≪1e-9 relative).
+Every public name that lived here re-exports unchanged, so
+``from repro.memsim.engine import HierarchyBackend, get_backend, ...``
+keeps working; new code should import from the layer modules.
 """
 
 from __future__ import annotations
 
 import logging
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
 
-import numpy as np
-
-from repro.config import SimConfig
-from repro.errors import SimulationError
-from repro.ligra.trace import Trace
-from repro.obs import get_registry, get_tracer
-from repro.obs.timeline import ReplaySampler
-from repro.memsim.cache import Cache
-from repro.memsim.coherence import Directory
-from repro.memsim.dram import DramModel
-from repro.memsim.geometry import BankGeometry
-from repro.memsim.interconnect import Crossbar
-from repro.memsim.mapping import ScratchpadMapping
-from repro.memsim.pisc import Microcode, PiscEngine
-from repro.memsim.prepass import StreamDetector, TracePrepass, precompute
-from repro.memsim.srcbuffer import SourceVertexBuffer
-from repro.memsim.stats import MemStats
+from repro.memsim.accounting import (
+    ReplayContext,
+    account_latencies as _account_latencies,
+    account_offload as _account_offload,
+    account_sp_plain as _account_sp_plain,
+    account_sp_rmw as _account_sp_rmw,
+    add_core_sums as _add_core_sums,
+)
+from repro.memsim.backends import (
+    BACKENDS,
+    BaselineBackend,
+    DynamicScratchpadBackend,
+    GraphPimBackend,
+    HierarchyBackend,
+    LockedCacheBackend,
+    OmegaBackend,
+    PimConfig,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.memsim.backends.omega import srcbuf_stage as _srcbuf_stage
+from repro.memsim.cachestate import CacheSystem as _CacheSystem
+from repro.memsim.replay import ReplayOutput
+from repro.memsim.routes import (
+    ROUTE_CACHE,
+    ROUTE_LOCKED,
+    ROUTE_MASKED as _ROUTE_MASKED,
+    ROUTE_PIM,
+    ROUTE_SP_OFFLOAD,
+    ROUTE_SP_PLAIN,
+    ROUTE_SP_RMW,
+    ROUTE_SRCBUF_HIT,
+    transfer_latency_many,
+)
 
 __all__ = [
     "ReplayOutput",
@@ -76,1372 +85,3 @@ __all__ = [
 ]
 
 _LOG = logging.getLogger("repro.memsim.engine")
-
-#: Sentinel route value outside every backend's code space; the
-#: windowed replay masks out-of-window events with it.
-_ROUTE_MASKED = np.int8(-1)
-
-# Route codes assigned by HierarchyBackend.route, one per trace event.
-ROUTE_CACHE = 0        #: L1 → L2 → DRAM (the stateful loop)
-ROUTE_SP_PLAIN = 1     #: plain scratchpad read/write (word packets)
-ROUTE_SP_RMW = 2       #: core-executed RMW on a scratchpad word
-ROUTE_SP_OFFLOAD = 3   #: fire-and-forget PISC offload
-ROUTE_SRCBUF_HIT = 4   #: absorbed by the source vertex buffer
-ROUTE_LOCKED = 5       #: pinned L2 line (locked-cache design)
-ROUTE_PIM = 6          #: off-chip PIM atomic (GraphPIM design)
-
-
-def transfer_latency_many(
-    crossbar: Crossbar, src: np.ndarray, dst: np.ndarray
-) -> np.ndarray:
-    """Vectorized :meth:`Crossbar.transfer_latency` (no packet side
-    effects — accounting is the caller's job)."""
-    cfg = crossbar.config
-    src = np.asarray(src, dtype=np.int64)
-    if cfg.topology == "crossbar":
-        return np.full(len(src), cfg.remote_latency_cycles, dtype=np.int64)
-    dst = np.asarray(dst, dtype=np.int64)
-    side = crossbar._mesh_side
-    hops = np.abs(src % side - dst % side) + np.abs(src // side - dst // side)
-    lat = np.rint(cfg.mesh_router_cycles + hops * cfg.mesh_hop_cycles)
-    return lat.astype(np.int64)
-
-
-@dataclass
-class ReplayOutput:
-    """Everything a replay produces, for the timing/energy models."""
-
-    stats: MemStats
-    dram: DramModel
-    crossbar: Crossbar
-    l1s: List[Cache]
-    l2_banks: List[Cache]
-    directory: Directory
-    srcbufs: Optional[List[SourceVertexBuffer]] = None
-    piscs: Optional[List[PiscEngine]] = None
-
-
-class _CacheSystem:
-    """The shared cache path: L1s + banked L2 + directory + DRAM.
-
-    Exposes both the scalar :meth:`access` (seed semantics, used as
-    the generic fallback for mesh topologies and open/hybrid DRAM
-    page policies) and :meth:`replay_cache_path`, which runs a whole
-    pre-routed event subset through a fully inlined loop when the
-    configuration allows (crossbar interconnect + closed-page DRAM,
-    where every non-cache latency contribution is a constant).
-    """
-
-    def __init__(self, config: SimConfig, stats: MemStats,
-                 dram: DramModel, crossbar: Crossbar) -> None:
-        ncores = config.core.num_cores
-        self.config = config
-        self.stats = stats
-        self.dram = dram
-        self.crossbar = crossbar
-        self.l1s = [Cache(config.l1, f"l1.{c}") for c in range(ncores)]
-        self.l2_banks = [
-            Cache(config.l2_per_core, f"l2.{b}") for b in range(ncores)
-        ]
-        self.directory = Directory(ncores)
-        self.ncores = ncores
-        self.geometry = BankGeometry(
-            num_banks=ncores, line_bytes=config.l1.line_bytes
-        )
-        # Kept as attributes for backward compatibility; all derived
-        # from the shared BankGeometry helper.
-        self.bank_mask = self.geometry.bank_mask
-        self.bank_bits = self.geometry.bank_bits
-        self.line_bytes = self.geometry.line_bytes
-        self.line_bits = self.geometry.line_bits
-        self.l1_lat = config.l1.latency_cycles
-        self.l2_lat = config.l2_per_core.latency_cycles
-        self.remote_lat = config.interconnect.remote_latency_cycles
-        # An OoO core's stride prefetcher hides the latency of
-        # sequential line streams (edgeList scans); the fetch itself
-        # (traffic, cache fills) still happens.
-        self.prefetcher = StreamDetector(ncores)
-        # The inlined batch loop assumes every crossbar hop and every
-        # DRAM access has constant latency; other configs take the
-        # scalar path.
-        self.fast_path_ok = (
-            config.interconnect.topology == "crossbar"
-            and config.dram.page_policy == "closed"
-        )
-
-    def _prefetched(self, core: int, line: int) -> bool:
-        """Stride detection: is ``line`` the next line of a live stream?"""
-        return self.prefetcher.observe(core, line)
-
-    # ------------------------------------------------------------------
-    # Scalar path (generic fallback + external callers)
-    # ------------------------------------------------------------------
-    def access(self, core: int, addr: int, write: bool) -> float:
-        """One cache-path access; returns the latency seen by the core."""
-        line = addr >> self.line_bits
-        stats = self.stats
-        l1 = self.l1s[core]
-        latency = float(self.l1_lat)
-        hit, dirty_victim = l1.access_line(line, write)
-        if hit:
-            stats.l1_hits += 1
-            if write:
-                inval_mask, writeback = self.directory.on_write(line, core)
-                if inval_mask:
-                    latency += self._invalidate(inval_mask, line, core)
-                if writeback:
-                    latency += self._fetch_modified(line)
-            return latency
-
-        stats.l1_misses += 1
-        # Coherence action for the fill.
-        if write:
-            inval_mask, writeback = self.directory.on_write(line, core)
-            if inval_mask:
-                latency += self._invalidate(inval_mask, line, core)
-        else:
-            _, writeback = self.directory.on_read(line, core)
-        if writeback:
-            latency += self._fetch_modified(line)
-        if dirty_victim is not None:
-            self._writeback_to_l2(dirty_victim, core)
-            self.directory.on_eviction(dirty_victim, core)
-
-        # L2 lookup at the line's home bank.
-        bank = line & self.bank_mask
-        bank_key = line >> self.bank_bits
-        if bank != core:
-            latency += self.crossbar.line_transfer(self.line_bytes, core, bank)
-            stats.onchip_line_bytes += (
-                self.line_bytes + self.crossbar.config.header_bytes
-            )
-        latency += self.l2_lat
-        l2hit, l2_dirty_victim = self.l2_banks[bank].access_line(bank_key, write)
-        if l2hit:
-            stats.l2_hits += 1
-        else:
-            stats.l2_misses += 1
-            stats.dram_read_bytes += self.line_bytes
-            latency += self.dram.read(self.line_bytes, addr)
-        if l2_dirty_victim is not None:
-            victim_addr = self.geometry.victim_addr(l2_dirty_victim, bank)
-            self.dram.write(self.line_bytes, victim_addr)
-            stats.dram_write_bytes += self.line_bytes
-        # A stream prefetcher hides the fill latency of sequential line
-        # runs; the traffic and cache-state changes above still stand.
-        if self.prefetcher.observe(core, line):
-            stats.prefetch_hits += 1
-            latency = float(self.l1_lat + 1)
-        return latency
-
-    def _invalidate(self, inval_mask: int, line: int, writer: int) -> float:
-        """Invalidate other cores' L1 copies; returns added latency."""
-        stats = self.stats
-        latency = 0.0
-        mask = inval_mask
-        c = 0
-        while mask:
-            if mask & 1:
-                self.l1s[c].invalidate_line(line)
-                stats.onchip_word_bytes += self.crossbar.config.header_bytes
-                self.crossbar.control_message()
-                stats.coherence_invalidations += 1
-            mask >>= 1
-            c += 1
-        # The writer waits one round trip for the acks, not one per copy.
-        latency += self.remote_lat
-        return latency
-
-    def _fetch_modified(self, line: int) -> float:
-        """Cache-to-cache transfer of a modified line."""
-        self.stats.onchip_line_bytes += (
-            self.line_bytes + self.crossbar.config.header_bytes
-        )
-        return float(self.crossbar.line_transfer(self.line_bytes))
-
-    def _writeback_to_l2(self, line: int, core: int) -> None:
-        """Write a dirty L1 victim back to its L2 bank."""
-        bank = line & self.bank_mask
-        bank_key = line >> self.bank_bits
-        if bank != core:
-            self.crossbar.line_transfer(self.line_bytes, core, bank)
-            self.stats.onchip_line_bytes += (
-                self.line_bytes + self.crossbar.config.header_bytes
-            )
-        _, l2_dirty_victim = self.l2_banks[bank].access_line(bank_key, True)
-        if l2_dirty_victim is not None:
-            victim_addr = self.geometry.victim_addr(l2_dirty_victim, bank)
-            self.dram.write(self.line_bytes, victim_addr)
-            self.stats.dram_write_bytes += self.line_bytes
-
-    # ------------------------------------------------------------------
-    # Batch path
-    # ------------------------------------------------------------------
-    def replay_cache_path(
-        self,
-        cores: np.ndarray,
-        addrs: np.ndarray,
-        lines: np.ndarray,
-        banks: np.ndarray,
-        bank_keys: np.ndarray,
-        writes: np.ndarray,
-        atomics: np.ndarray,
-        mem_lat: List[float],
-        serial: List[float],
-    ) -> None:
-        """Replay every cache-routed event (arrays already subset-sliced).
-
-        Per-core memory-latency and serialization sums accumulate into
-        ``mem_lat``/``serial``; atomic events get the core-executed
-        split (``atomic_serialization`` of the latency serializes, plus
-        the fixed stall).
-        """
-        if len(cores) == 0:
-            return
-        cores64 = np.asarray(cores, dtype=np.int64)
-        writes_l = np.asarray(writes).tolist()
-        if self.fast_path_ok:
-            lats = self._replay_fast(
-                cores64,
-                np.asarray(lines, dtype=np.int64),
-                np.asarray(banks, dtype=np.int64),
-                np.asarray(bank_keys, dtype=np.int64),
-                writes_l,
-            )
-            # Latency accounting happens vectorized, after the loop:
-            # the atomic split and per-core sums fold via bincount.
-            core_cfg = self.config.core
-            ser = core_cfg.atomic_serialization
-            stall = core_cfg.atomic_stall_cycles
-            atom = np.asarray(atomics, dtype=bool)
-            lat = np.asarray(lats)
-            n_atomic = int(np.count_nonzero(atom))
-            mem = np.where(atom, lat * (1.0 - ser), lat)
-            mem_sums = np.bincount(cores64, weights=mem,
-                                   minlength=self.ncores)
-            for c in range(self.ncores):
-                mem_lat[c] += float(mem_sums[c])
-            if n_atomic:
-                self.stats.atomics_total += n_atomic
-                self.stats.atomics_on_cores += n_atomic
-                srl = np.where(atom, lat * ser + stall, 0.0)
-                ser_sums = np.bincount(cores64, weights=srl,
-                                       minlength=self.ncores)
-                for c in range(self.ncores):
-                    serial[c] += float(ser_sums[c])
-        else:
-            self._replay_generic(
-                cores64.tolist(),
-                np.asarray(addrs, dtype=np.int64).tolist(),
-                writes_l, np.asarray(atomics).tolist(), mem_lat, serial,
-            )
-
-    def _replay_generic(self, cores, addrs, writes, atomics,
-                        mem_lat, serial) -> None:
-        """Scalar fallback: per-event :meth:`access` (seed semantics)."""
-        stats = self.stats
-        access = self.access
-        core_cfg = self.config.core
-        atomic_stall = core_cfg.atomic_stall_cycles
-        atomic_ser = core_cfg.atomic_serialization
-        for core, addr, write, atomic in zip(cores, addrs, writes, atomics):
-            latency = access(core, addr, write)
-            if atomic:
-                stats.atomics_total += 1
-                stats.atomics_on_cores += 1
-                serial[core] += latency * atomic_ser + atomic_stall
-                mem_lat[core] += latency * (1.0 - atomic_ser)
-            else:
-                mem_lat[core] += latency
-
-    def _replay_fast(self, cores, lines, banks, bank_keys, writes):
-        """Fully inlined cache loop for crossbar + closed-page configs.
-
-        Mirrors :meth:`access` operation-for-operation but keeps every
-        counter in a local and touches the cache/directory/prefetcher
-        dicts directly, flushing totals back to the model objects once
-        at the end. Valid only when all interconnect hops cost
-        ``remote_latency_cycles`` and all DRAM accesses cost
-        ``latency_cycles`` (checked by ``fast_path_ok``). Returns the
-        per-event latency list; the caller folds it into the per-core
-        sums vectorized.
-        """
-        config = self.config
-        ncores = self.ncores
-        l1_nsets = self.l1s[0]._num_sets
-        l1_ways = self.l1s[0]._ways
-        l2_nsets = self.l2_banks[0]._num_sets
-        l2_ways = self.l2_banks[0]._ways
-        l1_sets = [c._sets for c in self.l1s]
-        l2_sets = [b._sets for b in self.l2_banks]
-        dir_lines = self.directory._lines
-        # Prefetcher state, inlined for the L1-miss path (same lists
-        # the StreamDetector mutates, so state stays coherent).
-        pref = self.prefetcher
-        p_heads = pref._heads
-        p_next = pref._next
-        p_want = pref._want
-        num_heads = pref.num_heads
-        # Set indices are state-independent: compute them vectorized as
-        # flat core-major offsets so each lookup is one list index.
-        flat_l1 = [s for c in self.l1s for s in c._sets]
-        flat_l2 = [s for b in self.l2_banks for s in b._sets]
-        s1i_l = (cores * l1_nsets + lines % l1_nsets).tolist()
-        l2i_l = (banks * l2_nsets + bank_keys % l2_nsets).tolist()
-        cores_l = cores.tolist()
-        lines_l = lines.tolist()
-        banks_l = banks.tolist()
-        keys_l = bank_keys.tolist()
-
-        l1_lat = float(self.l1_lat)
-        pref_lat = float(self.l1_lat + 1)
-        l2_lat = self.l2_lat
-        remote_lat = self.remote_lat
-        dram_lat = config.dram.latency_cycles
-        line_bytes = self.line_bytes
-        header = self.crossbar.config.header_bytes
-        lb_h = line_bytes + header
-        bank_mask = self.bank_mask
-        bank_bits = self.bank_bits
-
-        l1h = [0] * ncores
-        l1m = [0] * ncores
-        l1e = [0] * ncores
-        l1de = [0] * ncores
-        l2h = [0] * ncores
-        l2m = [0] * ncores
-        l2e = [0] * ncores
-        l2de = [0] * ncores
-        s_l2_hits = 0
-        s_l2_misses = 0
-        s_pref = 0
-        s_onchip_line = 0
-        s_onchip_word = 0
-        s_coh_inv = 0
-        s_dram_rd = 0
-        s_dram_wr = 0
-        x_line_pkts = 0
-        x_ctrl_pkts = 0
-        d_inval = 0
-        d_wb = 0
-        dram_racc = 0
-        dram_wacc = 0
-
-        lats = [l1_lat] * len(cores_l)
-        i = -1
-        for core, line, write, si in zip(cores_l, lines_l, writes, s1i_l):
-            i += 1
-            s = flat_l1[si]
-            if line in s:
-                s.move_to_end(line)
-                if write:
-                    s[line] = True
-                    me = 1 << core
-                    entry = dir_lines.get(line)
-                    if entry is None:
-                        dir_lines[line] = [me, core]
-                    else:
-                        mask0, owner = entry
-                        others = mask0 & ~me
-                        wb = owner >= 0 and owner != core
-                        entry[0] = me
-                        entry[1] = core
-                        if wb:
-                            d_wb += 1
-                        extra = 0
-                        if others:
-                            lsi = line % l1_nsets
-                            m = others
-                            c = 0
-                            while m:
-                                if m & 1:
-                                    sc = l1_sets[c][lsi]
-                                    if line in sc:
-                                        del sc[line]
-                                    s_onchip_word += header
-                                    x_ctrl_pkts += 1
-                                    s_coh_inv += 1
-                                    d_inval += 1
-                                m >>= 1
-                                c += 1
-                            extra = remote_lat
-                        if wb:
-                            s_onchip_line += lb_h
-                            x_line_pkts += 1
-                            extra += remote_lat
-                        if extra:
-                            lats[i] = l1_lat + extra
-            else:
-                latency = l1_lat
-                l1m[core] += 1
-                dirty_victim = -1
-                if len(s) >= l1_ways:
-                    victim_line, was_dirty = s.popitem(last=False)
-                    l1e[core] += 1
-                    if was_dirty:
-                        l1de[core] += 1
-                        dirty_victim = victim_line
-                s[line] = write
-                me = 1 << core
-                entry = dir_lines.get(line)
-                if write:
-                    if entry is None:
-                        dir_lines[line] = [me, core]
-                    else:
-                        mask0, owner = entry
-                        others = mask0 & ~me
-                        wb = owner >= 0 and owner != core
-                        entry[0] = me
-                        entry[1] = core
-                        if wb:
-                            d_wb += 1
-                        if others:
-                            lsi = line % l1_nsets
-                            m = others
-                            c = 0
-                            while m:
-                                if m & 1:
-                                    sc = l1_sets[c][lsi]
-                                    if line in sc:
-                                        del sc[line]
-                                    s_onchip_word += header
-                                    x_ctrl_pkts += 1
-                                    s_coh_inv += 1
-                                    d_inval += 1
-                                m >>= 1
-                                c += 1
-                            latency += remote_lat
-                        if wb:
-                            s_onchip_line += lb_h
-                            x_line_pkts += 1
-                            latency += remote_lat
-                else:
-                    if entry is None:
-                        dir_lines[line] = [me, -1]
-                    else:
-                        mask0, owner = entry
-                        if owner >= 0 and owner != core:
-                            d_wb += 1
-                            entry[1] = -1
-                            s_onchip_line += lb_h
-                            x_line_pkts += 1
-                            latency += remote_lat
-                        entry[0] = mask0 | me
-
-                if dirty_victim >= 0:
-                    vbank = dirty_victim & bank_mask
-                    vkey = dirty_victim >> bank_bits
-                    if vbank != core:
-                        x_line_pkts += 1
-                        s_onchip_line += lb_h
-                    s2 = l2_sets[vbank][vkey % l2_nsets]
-                    if vkey in s2:
-                        l2h[vbank] += 1
-                        s2.move_to_end(vkey)
-                        s2[vkey] = True
-                    else:
-                        l2m[vbank] += 1
-                        if len(s2) >= l2_ways:
-                            _v2, d2 = s2.popitem(last=False)
-                            l2e[vbank] += 1
-                            if d2:
-                                l2de[vbank] += 1
-                                dram_wacc += 1
-                                s_dram_wr += line_bytes
-                        s2[vkey] = True
-                    entry = dir_lines.get(dirty_victim)
-                    if entry is not None:
-                        entry[0] &= ~me
-                        if entry[1] == core:
-                            entry[1] = -1
-                        if entry[0] == 0:
-                            del dir_lines[dirty_victim]
-
-                bank = banks_l[i]
-                if bank != core:
-                    latency += remote_lat
-                    x_line_pkts += 1
-                    s_onchip_line += lb_h
-                latency += l2_lat
-                bank_key = keys_l[i]
-                s2 = flat_l2[l2i_l[i]]
-                if bank_key in s2:
-                    l2h[bank] += 1
-                    s2.move_to_end(bank_key)
-                    if write:
-                        s2[bank_key] = True
-                    s_l2_hits += 1
-                else:
-                    l2m[bank] += 1
-                    dirty2 = -1
-                    if len(s2) >= l2_ways:
-                        v2, d2 = s2.popitem(last=False)
-                        l2e[bank] += 1
-                        if d2:
-                            l2de[bank] += 1
-                            dirty2 = v2
-                    s2[bank_key] = write
-                    s_l2_misses += 1
-                    s_dram_rd += line_bytes
-                    dram_racc += 1
-                    latency += dram_lat
-                    if dirty2 >= 0:
-                        dram_wacc += 1
-                        s_dram_wr += line_bytes
-                # Stream-prefetch detection (StreamDetector.observe,
-                # inlined): a line matching some head + 1 counts as
-                # prefetched and advances that head; otherwise it
-                # replaces a round-robin victim head.
-                want = p_want[core]
-                slots = want.get(line)
-                heads = p_heads[core]
-                nxt = line + 1
-                if slots:
-                    slot = min(slots)
-                    slots.remove(slot)
-                    if not slots:
-                        del want[line]
-                    heads[slot] = line
-                    ws = want.get(nxt)
-                    if ws is None:
-                        want[nxt] = [slot]
-                    else:
-                        ws.append(slot)
-                    s_pref += 1
-                    latency = pref_lat
-                else:
-                    slot = p_next[core]
-                    old = heads[slot] + 1
-                    stale = want.get(old)
-                    if stale:
-                        stale.remove(slot)
-                        if not stale:
-                            del want[old]
-                    heads[slot] = line
-                    ws = want.get(nxt)
-                    if ws is None:
-                        want[nxt] = [slot]
-                    else:
-                        ws.append(slot)
-                    p_next[core] = (slot + 1) % num_heads
-                lats[i] = latency
-
-        # Per-core L1 hits fall out of the per-core event counts: the
-        # loop only tallies misses, hits are the complement.
-        ev_counts = np.bincount(cores, minlength=ncores)
-        for c in range(ncores):
-            l1h[c] = int(ev_counts[c]) - l1m[c]
-        stats = self.stats
-        stats.l1_hits += sum(l1h)
-        stats.l1_misses += sum(l1m)
-        stats.l2_hits += s_l2_hits
-        stats.l2_misses += s_l2_misses
-        stats.prefetch_hits += s_pref
-        stats.onchip_line_bytes += s_onchip_line
-        stats.onchip_word_bytes += s_onchip_word
-        stats.coherence_invalidations += s_coh_inv
-        stats.dram_read_bytes += s_dram_rd
-        stats.dram_write_bytes += s_dram_wr
-        for c in range(ncores):
-            l1 = self.l1s[c]
-            l1.hits += l1h[c]
-            l1.misses += l1m[c]
-            l1.evictions += l1e[c]
-            l1.dirty_evictions += l1de[c]
-            l2 = self.l2_banks[c]
-            l2.hits += l2h[c]
-            l2.misses += l2m[c]
-            l2.evictions += l2e[c]
-            l2.dirty_evictions += l2de[c]
-        self.directory.invalidations += d_inval
-        self.directory.writebacks += d_wb
-        xbar = self.crossbar
-        xbar.line_packets += x_line_pkts
-        xbar.line_bytes += x_line_pkts * lb_h
-        xbar.control_packets += x_ctrl_pkts
-        xbar.control_bytes += x_ctrl_pkts * header
-        dram = self.dram
-        dram.read_accesses += dram_racc
-        dram.read_bytes += s_dram_rd
-        dram.write_accesses += dram_wacc
-        dram.write_bytes += s_dram_wr
-        return lats
-
-
-# ----------------------------------------------------------------------
-# Replay context and batch accounting helpers
-# ----------------------------------------------------------------------
-@dataclass
-class ReplayContext:
-    """Mutable per-replay state shared between the engine and a backend."""
-
-    config: SimConfig
-    stats: MemStats
-    dram: DramModel
-    crossbar: Crossbar
-    system: _CacheSystem
-    ncores: int
-    piscs: Optional[List[PiscEngine]] = None
-    srcbufs: Optional[List[SourceVertexBuffer]] = None
-    #: Backend-supplied scratchpad home/locality overrides (the dynamic
-    #: backend homes by ``vertex % ncores`` instead of the mapping).
-    sp_home: Optional[np.ndarray] = None
-    sp_local: Optional[np.ndarray] = None
-    extra: dict = field(default_factory=dict)
-
-
-def _add_core_sums(target: List[float], cores: np.ndarray,
-                   weights: np.ndarray, ncores: int) -> None:
-    """``target[c] += sum(weights where cores == c)`` via bincount."""
-    sums = np.bincount(cores, weights=weights, minlength=ncores)
-    for c in range(ncores):
-        target[c] += float(sums[c])
-
-
-def _account_latencies(ctx: ReplayContext, cores: np.ndarray,
-                       lat: np.ndarray, atomic: np.ndarray) -> None:
-    """Fold per-event latencies into the per-core sums.
-
-    Atomic events get the core-executed split: a fraction of the
-    latency (plus the fixed stall) serializes the pipeline, the rest
-    overlaps as ordinary memory latency.
-    """
-    stats = ctx.stats
-    core_cfg = ctx.config.core
-    ser = core_cfg.atomic_serialization
-    stall = core_cfg.atomic_stall_cycles
-    n_atomic = int(np.count_nonzero(atomic))
-    mem = np.where(atomic, lat * (1.0 - ser), lat)
-    _add_core_sums(stats.core_mem_latency, cores, mem, ctx.ncores)
-    if n_atomic:
-        stats.atomics_total += n_atomic
-        stats.atomics_on_cores += n_atomic
-        srl = np.where(atomic, lat * ser + stall, 0.0)
-        _add_core_sums(stats.core_serial_cycles, cores, srl, ctx.ncores)
-
-
-def _account_sp_plain(ctx: ReplayContext, trace: Trace,
-                      prepass: TracePrepass, idx: np.ndarray,
-                      home: np.ndarray, local_mask: np.ndarray) -> None:
-    """Plain scratchpad reads/writes: word packets, SP latency."""
-    if len(idx) == 0:
-        return
-    stats = ctx.stats
-    config = ctx.config
-    cores = np.asarray(trace.core[idx], dtype=np.int64)
-    local = local_mask[idx]
-    n = len(idx)
-    remote = ~local
-    n_remote = int(np.count_nonzero(remote))
-    n_local = n - n_remote
-    stats.sp_local_accesses += n_local
-    stats.sp_plain_local += n_local
-    stats.sp_remote_accesses += n_remote
-    stats.sp_plain_remote += n_remote
-    lat = np.full(n, float(config.scratchpad.latency_cycles))
-    if n_remote:
-        header = config.interconnect.header_bytes
-        lat[remote] += transfer_latency_many(
-            ctx.crossbar, cores[remote], home[idx][remote]
-        )
-        rbytes = int(prepass.nbytes[idx][remote].sum())
-        ctx.crossbar.word_packets += n_remote
-        ctx.crossbar.word_bytes += rbytes + n_remote * header
-        stats.onchip_word_bytes += rbytes + n_remote * header
-    _account_latencies(ctx, cores, lat, prepass.atomic[idx])
-
-
-def _account_sp_rmw(ctx: ReplayContext, trace: Trace,
-                    prepass: TracePrepass, idx: np.ndarray,
-                    home: np.ndarray, local_mask: np.ndarray) -> None:
-    """Core-executed RMW on scratchpad words (OMEGA without PISCs)."""
-    if len(idx) == 0:
-        return
-    stats = ctx.stats
-    config = ctx.config
-    cores = np.asarray(trace.core[idx], dtype=np.int64)
-    local = local_mask[idx]
-    n = len(idx)
-    remote = ~local
-    n_remote = int(np.count_nonzero(remote))
-    stats.sp_local_accesses += n - n_remote
-    stats.sp_remote_accesses += n_remote
-    # Read + write of the word.
-    lat = np.full(n, float(config.scratchpad.latency_cycles * 2))
-    if n_remote:
-        header = config.interconnect.header_bytes
-        lat[remote] += 2.0 * transfer_latency_many(
-            ctx.crossbar, cores[remote], home[idx][remote]
-        )
-        rbytes = int(prepass.nbytes[idx][remote].sum())
-        ctx.crossbar.word_packets += 2 * n_remote
-        ctx.crossbar.word_bytes += 2 * (rbytes + n_remote * header)
-        stats.onchip_word_bytes += 2 * (rbytes + n_remote * header)
-    _account_latencies(ctx, cores, lat, np.ones(n, dtype=bool))
-
-
-def _account_offload(ctx: ReplayContext, trace: Trace,
-                     prepass: TracePrepass, idx: np.ndarray,
-                     microcode: Microcode, home: np.ndarray,
-                     local_mask: np.ndarray) -> None:
-    """Fire-and-forget PISC offloads: issue cost + pad occupancy."""
-    if len(idx) == 0:
-        return
-    stats = ctx.stats
-    config = ctx.config
-    n = len(idx)
-    cores = np.asarray(trace.core[idx], dtype=np.int64)
-    n_atomic = int(np.count_nonzero(prepass.atomic[idx]))
-    stats.atomics_total += n_atomic
-    stats.atomics_offloaded += n_atomic
-    stats.pisc_ops += n
-    issue = config.core.offload_issue_cycles
-    counts = np.bincount(cores, minlength=ctx.ncores)
-    serial = stats.core_serial_cycles
-    for c in range(ctx.ncores):
-        serial[c] += float(counts[c]) * issue
-
-    homes = np.asarray(home[idx], dtype=np.int64)
-    verts = np.asarray(trace.vertex[idx], dtype=np.int64)
-    cycles = microcode.cycles
-    occupancy = stats.pisc_occupancy
-    for p in range(ctx.ncores):
-        vs = verts[homes == p]
-        cnt = len(vs)
-        if not cnt:
-            continue
-        pisc = ctx.piscs[p]
-        pisc.ops_executed += cnt
-        pisc.busy_cycles += cnt * cycles
-        # Same-vertex back-to-back ops serialize on the pad controller.
-        conflicts = int(np.count_nonzero(vs[1:] == vs[:-1]))
-        if vs[0] == pisc._last_vertex:
-            conflicts += 1
-        pisc.conflict_cycles += conflicts * cycles
-        pisc._last_vertex = int(vs[-1])
-        occupancy[p] += cnt * cycles
-
-    local = local_mask[idx]
-    n_remote = int(np.count_nonzero(~local))
-    stats.sp_local_accesses += n - n_remote
-    stats.sp_remote_accesses += n_remote
-    if n_remote:
-        header = config.interconnect.header_bytes
-        rbytes = int(prepass.nbytes[idx][~local].sum())
-        ctx.crossbar.word_packets += n_remote
-        ctx.crossbar.word_bytes += rbytes + n_remote * header
-        stats.onchip_word_bytes += rbytes + n_remote * header
-
-
-# ----------------------------------------------------------------------
-# Backend protocol + registry
-# ----------------------------------------------------------------------
-class HierarchyBackend:
-    """A memory hierarchy as a routing policy over the shared engine.
-
-    Subclasses validate their configuration in ``__init__``, spin up
-    any private structures in :meth:`prepare` (PISCs, source buffers),
-    assign one ``ROUTE_*`` code per event in :meth:`route`, and charge
-    everything that is not the stateful cache path in :meth:`account`
-    (vectorized). The template :meth:`replay` is the engine: it owns
-    the pre-pass, the cache stage, and the per-core access counts.
-    """
-
-    #: Registry name; set by :func:`register_backend`.
-    name = "?"
-
-    #: Debug/benchmark escape hatch: force the per-event scalar cache
-    #: loop even when the config qualifies for the inlined batch loop.
-    force_scalar_cache = False
-
-    def __init__(self, config: SimConfig) -> None:
-        self.config = config
-        self.dram_random_ranges = ()
-        self.microcode: Optional[Microcode] = None
-
-    # -- hooks ---------------------------------------------------------
-    def prepass_mapping(self) -> Optional[ScratchpadMapping]:
-        """Mapping used by the pre-pass for hot/home/local columns."""
-        return None
-
-    def prepare(self, ctx: ReplayContext) -> None:
-        """Create backend-private structures before routing."""
-
-    def route(self, ctx: ReplayContext, trace: Trace,
-              prepass: TracePrepass) -> np.ndarray:
-        """Assign one ROUTE_* code per event (default: all cache)."""
-        return np.zeros(prepass.num_events, dtype=np.int8)
-
-    def account(self, ctx: ReplayContext, trace: Trace,
-                prepass: TracePrepass, routes: np.ndarray) -> None:
-        """Batch-account all non-cache routes (scratchpad family)."""
-        home = ctx.sp_home if ctx.sp_home is not None else prepass.home
-        local = ctx.sp_local if ctx.sp_local is not None else prepass.local
-        _account_sp_plain(
-            ctx, trace, prepass, np.flatnonzero(routes == ROUTE_SP_PLAIN),
-            home, local,
-        )
-        _account_sp_rmw(
-            ctx, trace, prepass, np.flatnonzero(routes == ROUTE_SP_RMW),
-            home, local,
-        )
-        off = np.flatnonzero(routes == ROUTE_SP_OFFLOAD)
-        if len(off):
-            _account_offload(
-                ctx, trace, prepass, off, self.microcode, home, local
-            )
-
-    def finalize(self, ctx: ReplayContext) -> None:
-        """Post-accounting fixups (e.g. fold PIM occupancy)."""
-
-    # -- the engine ----------------------------------------------------
-    def replay(self, trace: Trace,
-               sampler: Optional[ReplaySampler] = None) -> ReplayOutput:
-        """Replay ``trace``: pre-pass, route, cache stage, accounting.
-
-        ``sampler`` (a :class:`repro.obs.ReplaySampler`) switches the
-        cache stage and the batch accounting to windowed execution:
-        every N events the cumulative counters are snapshotted into a
-        timeline row. The stateful cache system persists across
-        windows and per-route event order is unchanged, so all integer
-        counters are identical to the unwindowed replay; per-core
-        latency sums differ only by float-summation order.
-        """
-        tracer = get_tracer()
-        metrics = get_registry()
-        with tracer.span("replay", cat="replay", backend=self.name,
-                         events=trace.num_events) as replay_span:
-            with tracer.span("interleave", cat="replay"):
-                trace = trace.interleaved()
-            config = self.config
-            ncores = config.core.num_cores
-            stats = MemStats(num_cores=ncores)
-            dram = DramModel(config.dram)
-            dram.set_random_ranges(self.dram_random_ranges)
-            crossbar = Crossbar(config.interconnect, ncores)
-            system = _CacheSystem(config, stats, dram, crossbar)
-            if self.force_scalar_cache:
-                system.fast_path_ok = False
-            ctx = ReplayContext(
-                config=config, stats=stats, dram=dram, crossbar=crossbar,
-                system=system, ncores=ncores,
-            )
-            self.prepare(ctx)
-            with tracer.span("prepass", cat="replay"):
-                prepass = precompute(
-                    trace, config, mapping=self.prepass_mapping()
-                )
-            with tracer.span("route", cat="replay"):
-                routes = self.route(ctx, trace, prepass)
-
-            cache_idx = np.flatnonzero(routes == ROUTE_CACHE)
-            metrics.counter("replay.events").inc(prepass.num_events)
-            metrics.counter("replay.cache_events").inc(len(cache_idx))
-            metrics.counter("replay.offchip_routed_events").inc(
-                prepass.num_events - len(cache_idx)
-            )
-            if sampler is not None and prepass.num_events:
-                self._replay_windowed(
-                    ctx, trace, prepass, routes, cache_idx, sampler, tracer
-                )
-                replay_span.annotate(windows=sampler.timeline().num_windows)
-            else:
-                with tracer.span("cache_path", cat="replay",
-                                 events=len(cache_idx)):
-                    if len(cache_idx):
-                        system.replay_cache_path(
-                            trace.core[cache_idx],
-                            trace.addr[cache_idx],
-                            prepass.lines[cache_idx],
-                            prepass.banks[cache_idx],
-                            prepass.bank_keys[cache_idx],
-                            prepass.write[cache_idx],
-                            prepass.atomic[cache_idx],
-                            stats.core_mem_latency,
-                            stats.core_serial_cycles,
-                        )
-                with tracer.span("account", cat="replay"):
-                    self.account(ctx, trace, prepass, routes)
-            counts = np.bincount(
-                np.asarray(trace.core, dtype=np.int64), minlength=ncores
-            )
-            stats.core_accesses = [int(x) for x in counts]
-            self.finalize(ctx)
-            _LOG.debug(
-                "replayed %d events through %s (%d cache-routed,"
-                " l2 hit rate %.4f)",
-                prepass.num_events, self.name, len(cache_idx),
-                stats.l2_hit_rate,
-            )
-            return ReplayOutput(
-                stats=stats,
-                dram=dram,
-                crossbar=crossbar,
-                l1s=system.l1s,
-                l2_banks=system.l2_banks,
-                directory=system.directory,
-                srcbufs=ctx.srcbufs,
-                piscs=ctx.piscs,
-            )
-
-    def _replay_windowed(
-        self,
-        ctx: ReplayContext,
-        trace: Trace,
-        prepass: TracePrepass,
-        routes: np.ndarray,
-        cache_idx: np.ndarray,
-        sampler: ReplaySampler,
-        tracer,
-    ) -> None:
-        """Windowed cache stage + accounting for timeline sampling.
-
-        Each window replays its cache-routed slice through the shared
-        stateful system and batch-accounts its non-cache routes via a
-        masked copy of the route array (out-of-window events carry
-        ``_ROUTE_MASKED``, which matches no route code), then snapshots
-        the cumulative counters into the sampler. Accounting performed
-        during :meth:`route` (e.g. source-buffer hits) lands in the
-        first window's row.
-        """
-        n = prepass.num_events
-        core = ctx.config.core
-        window = sampler.begin(
-            n, ctx.ncores, core.compute_cycles_per_access, core.mlp,
-            core.imbalance_factor, core.freq_ghz,
-        )
-        stats = ctx.stats
-        system = ctx.system
-        masked = np.full(n, _ROUTE_MASKED, dtype=np.int8)
-        lo = 0
-        while lo < n:
-            hi = min(lo + window, n)
-            wall_start = time.perf_counter()
-            with tracer.span("window", cat="replay", start_event=lo,
-                             end_event=hi):
-                ci_lo, ci_hi = np.searchsorted(cache_idx, (lo, hi))
-                sub = cache_idx[ci_lo:ci_hi]
-                if len(sub):
-                    system.replay_cache_path(
-                        trace.core[sub],
-                        trace.addr[sub],
-                        prepass.lines[sub],
-                        prepass.banks[sub],
-                        prepass.bank_keys[sub],
-                        prepass.write[sub],
-                        prepass.atomic[sub],
-                        stats.core_mem_latency,
-                        stats.core_serial_cycles,
-                    )
-                masked[lo:hi] = routes[lo:hi]
-                self.account(ctx, trace, prepass, masked)
-                masked[lo:hi] = _ROUTE_MASKED
-            sampler.record(lo, hi, stats, time.perf_counter() - wall_start)
-            lo = hi
-
-
-#: Registry of backend names → classes (the pluggable surface).
-BACKENDS: Dict[str, Type[HierarchyBackend]] = {}
-
-
-def register_backend(name: str):
-    """Class decorator: register a backend under ``name``."""
-
-    def deco(cls: Type[HierarchyBackend]) -> Type[HierarchyBackend]:
-        cls.name = name
-        BACKENDS[name] = cls
-        return cls
-
-    return deco
-
-
-def get_backend(name: str) -> Type[HierarchyBackend]:
-    """Look up a registered backend class by name."""
-    try:
-        return BACKENDS[name]
-    except KeyError:
-        raise SimulationError(
-            f"unknown backend {name!r}; known: {', '.join(sorted(BACKENDS))}"
-        ) from None
-
-
-def backend_names() -> List[str]:
-    """All registered backend names, sorted."""
-    return sorted(BACKENDS)
-
-
-# ----------------------------------------------------------------------
-# The five hierarchy variants, as routing policies
-# ----------------------------------------------------------------------
-@register_backend("baseline")
-class BaselineBackend(HierarchyBackend):
-    """The paper's baseline CMP: caches only, atomics on the cores."""
-
-    def __init__(self, config: SimConfig, dram_random_ranges=()) -> None:
-        if config.use_scratchpad:
-            raise SimulationError(
-                "BaselineHierarchy requires a config without scratchpads"
-            )
-        super().__init__(config)
-        #: (start, end) address ranges served close-page under the
-        #: "hybrid" DRAM policy (the vtxProp regions).
-        self.dram_random_ranges = tuple(dram_random_ranges)
-
-
-@register_backend("omega")
-class OmegaBackend(HierarchyBackend):
-    """OMEGA: halved L2 + partitioned scratchpads + PISCs + source buffers."""
-
-    def __init__(
-        self,
-        config: SimConfig,
-        mapping: ScratchpadMapping,
-        microcode: Optional[Microcode] = None,
-        dram_random_ranges=(),
-    ) -> None:
-        if not config.use_scratchpad:
-            raise SimulationError(
-                "OmegaHierarchy requires a config with use_scratchpad=True"
-            )
-        super().__init__(config)
-        self.mapping = mapping
-        self.microcode = microcode
-        self.dram_random_ranges = tuple(dram_random_ranges)
-
-    def prepass_mapping(self) -> Optional[ScratchpadMapping]:
-        return self.mapping
-
-    @property
-    def _use_pisc(self) -> bool:
-        return self.config.use_pisc and self.microcode is not None
-
-    def prepare(self, ctx: ReplayContext) -> None:
-        ctx.piscs = [PiscEngine(p) for p in range(ctx.ncores)]
-        if self._use_pisc:
-            for p in ctx.piscs:
-                p.load_microcode(self.microcode)
-        if self.config.use_source_buffer:
-            ctx.srcbufs = [
-                SourceVertexBuffer(self.config.source_buffer_entries)
-                for _ in range(ctx.ncores)
-            ]
-
-    def route(self, ctx: ReplayContext, trace: Trace,
-              prepass: TracePrepass) -> np.ndarray:
-        routes = np.zeros(prepass.num_events, dtype=np.int8)
-        hot = prepass.hot
-        # Offload to the PISC: always for atomics; for plain
-        # update-function writes only when the pad is remote (a local
-        # owner-write is cheaper done by the core). Without PISCs the
-        # core performs hot atomics itself over SP word accesses.
-        if self._use_pisc:
-            taken = hot & (prepass.atomic | (prepass.update & ~prepass.local))
-            routes[taken] = ROUTE_SP_OFFLOAD
-        else:
-            taken = hot & prepass.atomic
-            routes[taken] = ROUTE_SP_RMW
-        plain = hot & ~taken
-        routes[plain] = ROUTE_SP_PLAIN
-        if ctx.srcbufs is not None:
-            cand = (
-                plain & prepass.src_read & ~prepass.write & ~prepass.local
-            )
-            hits = _srcbuf_stage(ctx, trace, np.flatnonzero(cand))
-            routes[hits] = ROUTE_SRCBUF_HIT
-        return routes
-
-
-def _srcbuf_stage(ctx: ReplayContext, trace: Trace,
-                  cand_idx: np.ndarray) -> np.ndarray:
-    """Run the stateful source-buffer LRU over its candidate events.
-
-    Walks only the candidates (in trace order), applying the wholesale
-    barrier invalidations at the positions the full scan would, and
-    accounts the hits (1-cycle local reads). Returns the hit indices;
-    misses read-allocate and fall through to the plain-SP route.
-    """
-    srcbufs = ctx.srcbufs
-    n = trace.num_events
-    barriers = sorted({int(b) for b in trace.barriers.tolist() if 0 <= b < n})
-    positions = cand_idx.tolist()
-    cores = np.asarray(trace.core[cand_idx], dtype=np.int64).tolist()
-    addrs = np.asarray(trace.addr[cand_idx], dtype=np.int64).tolist()
-    hits: List[int] = []
-    bi = 0
-    nb = len(barriers)
-    for j in range(len(positions)):
-        p = positions[j]
-        while bi < nb and barriers[bi] <= p:
-            for buf in srcbufs:
-                buf.invalidate_all()
-            bi += 1
-        if srcbufs[cores[j]].lookup(addrs[j]):
-            hits.append(p)
-    while bi < nb:
-        for buf in srcbufs:
-            buf.invalidate_all()
-        bi += 1
-    hit_idx = np.asarray(hits, dtype=np.int64)
-    if len(hit_idx):
-        stats = ctx.stats
-        stats.srcbuf_hits += len(hit_idx)
-        hit_cores = np.asarray(trace.core[hit_idx], dtype=np.int64)
-        _add_core_sums(
-            stats.core_mem_latency, hit_cores,
-            np.ones(len(hit_idx)), ctx.ncores,
-        )
-    return hit_idx
-
-
-@register_backend("locked")
-class LockedCacheBackend(HierarchyBackend):
-    """Hot vertices pinned in the L2 via cache-line locking.
-
-    Uses the same popularity partition as OMEGA (``mapping`` decides
-    which vertices are "locked"), but a locked access behaves like a
-    guaranteed L2 hit at its home bank: L2 latency, plus a crossbar
-    *line* transfer whenever the bank is remote — no word-granularity
-    packets, no PISC, atomics serialized on the cores.
-    """
-
-    def __init__(self, config: SimConfig, mapping: ScratchpadMapping) -> None:
-        if config.use_pisc:
-            raise SimulationError(
-                "LockedCacheHierarchy has no PISCs; pass use_pisc=False"
-            )
-        super().__init__(config)
-        self.mapping = mapping
-
-    def prepass_mapping(self) -> Optional[ScratchpadMapping]:
-        return self.mapping
-
-    def route(self, ctx: ReplayContext, trace: Trace,
-              prepass: TracePrepass) -> np.ndarray:
-        routes = np.zeros(prepass.num_events, dtype=np.int8)
-        routes[prepass.hot] = ROUTE_LOCKED
-        return routes
-
-    def account(self, ctx: ReplayContext, trace: Trace,
-                prepass: TracePrepass, routes: np.ndarray) -> None:
-        idx = np.flatnonzero(routes == ROUTE_LOCKED)
-        if len(idx) == 0:
-            return
-        stats = ctx.stats
-        config = ctx.config
-        n = len(idx)
-        cores = np.asarray(trace.core[idx], dtype=np.int64)
-        remote = ~prepass.local[idx]
-        n_remote = int(np.count_nonzero(remote))
-        stats.l2_hits += n
-        lat = np.full(n, float(config.l2_per_core.latency_cycles))
-        if n_remote:
-            # Locked lines move at line granularity; the transfer cost
-            # is the topology's endpoint-free average.
-            line_bytes = config.l1.line_bytes
-            header = config.interconnect.header_bytes
-            lat[remote] += ctx.crossbar.transfer_latency()
-            ctx.crossbar.line_packets += n_remote
-            ctx.crossbar.line_bytes += n_remote * (line_bytes + header)
-            stats.onchip_line_bytes += n_remote * (line_bytes + header)
-        _account_latencies(ctx, cores, lat, prepass.atomic[idx])
-
-
-class PimConfig:
-    """Parameters of the off-chip PIM atomic units (GraphPIM-style)."""
-
-    def __init__(
-        self,
-        op_cycles: int = 8,
-        units: int = 32,
-        bytes_per_op: int = 16,
-        issue_cycles: int = 1,
-    ) -> None:
-        if units <= 0:
-            raise SimulationError(f"PIM needs >= 1 unit, got {units}")
-        #: DRAM-side read-modify-write latency charged as occupancy.
-        self.op_cycles = op_cycles
-        #: Number of PIM units (one per vault/channel slice).
-        self.units = units
-        #: Off-chip bytes per atomic (HMC-style 16-byte atomics).
-        self.bytes_per_op = bytes_per_op
-        #: Core-side cost of issuing the offload packet.
-        self.issue_cycles = issue_cycles
-
-
-@register_backend("graphpim")
-class GraphPimBackend(HierarchyBackend):
-    """GraphPIM-style: vtxProp atomics execute in off-chip memory.
-
-    Non-atomic traffic uses the full (baseline-sized) cache hierarchy;
-    every vtxProp atomic becomes a fire-and-forget packet to a PIM unit
-    chosen by vertex id, costing off-chip bytes and PIM occupancy
-    instead of core stalls.
-    """
-
-    def __init__(self, config: SimConfig,
-                 pim: Optional[PimConfig] = None) -> None:
-        if config.use_scratchpad:
-            raise SimulationError(
-                "PimHierarchy uses the full cache hierarchy; pass a"
-                " baseline-style config"
-            )
-        super().__init__(config)
-        self.pim = pim or PimConfig()
-
-    def prepare(self, ctx: ReplayContext) -> None:
-        ctx.extra["pim_busy"] = [0] * self.pim.units
-
-    def route(self, ctx: ReplayContext, trace: Trace,
-              prepass: TracePrepass) -> np.ndarray:
-        routes = np.zeros(prepass.num_events, dtype=np.int8)
-        routes[prepass.vtxprop & prepass.atomic] = ROUTE_PIM
-        return routes
-
-    def account(self, ctx: ReplayContext, trace: Trace,
-                prepass: TracePrepass, routes: np.ndarray) -> None:
-        idx = np.flatnonzero(routes == ROUTE_PIM)
-        if len(idx) == 0:
-            return
-        stats = ctx.stats
-        pim = self.pim
-        n = len(idx)
-        cores = np.asarray(trace.core[idx], dtype=np.int64)
-        stats.atomics_total += n
-        stats.atomics_offloaded += n
-        counts = np.bincount(cores, minlength=ctx.ncores)
-        serial = stats.core_serial_cycles
-        for c in range(ctx.ncores):
-            serial[c] += float(counts[c]) * pim.issue_cycles
-        verts = np.asarray(trace.vertex[idx], dtype=np.int64)
-        units = np.where(verts >= 0, verts % pim.units, 0)
-        busy = np.bincount(units, minlength=pim.units) * pim.op_cycles
-        pim_busy = ctx.extra["pim_busy"]
-        for u in range(pim.units):
-            pim_busy[u] += int(busy[u])
-        # The atomic's RMW happens in memory: off-chip bytes, no
-        # cache-line fetch.
-        half = pim.bytes_per_op // 2
-        stats.dram_read_bytes += n * half
-        stats.dram_write_bytes += n * half
-        ctx.dram.read_bytes += n * half
-        ctx.dram.write_bytes += n * half
-        ctx.dram.read_accesses += n
-
-    def finalize(self, ctx: ReplayContext) -> None:
-        # Report PIM occupancy through the same channel the core model
-        # reads PISC occupancy from (max over units bounds the run).
-        per_core = [0] * ctx.ncores
-        for u, busy in enumerate(ctx.extra["pim_busy"]):
-            per_core[u % ctx.ncores] += busy
-        ctx.stats.pisc_occupancy = per_core
-
-
-@register_backend("dynamic")
-class DynamicScratchpadBackend(HierarchyBackend):
-    """Section VI's *dynamic* hot-set identification, made measurable.
-
-    The scratchpads are managed as a frequency-weighted vertex cache:
-    any vtxProp access may allocate its vertex into the
-    (hash-partitioned) pads, and on conflict the entry with the higher
-    running access count stays. Hits behave like OMEGA scratchpad
-    accesses (atomics offload to the PISC); misses fall through to the
-    cache path and train the frequency counters. Runs on the
-    *original* vertex ordering — no preprocessing pass.
-    """
-
-    def __init__(
-        self,
-        config: SimConfig,
-        capacity_vertices: int,
-        microcode: Optional[Microcode] = None,
-        slots_per_set: int = 4,
-    ) -> None:
-        if not config.use_scratchpad:
-            raise SimulationError(
-                "DynamicScratchpadHierarchy needs an OMEGA-style config"
-            )
-        if capacity_vertices < 0:
-            raise SimulationError(
-                f"capacity must be >= 0, got {capacity_vertices}"
-            )
-        if slots_per_set <= 0:
-            raise SimulationError(
-                f"slots_per_set must be > 0, got {slots_per_set}"
-            )
-        super().__init__(config)
-        self.capacity_vertices = capacity_vertices
-        self.microcode = microcode
-        self.slots_per_set = slots_per_set
-
-    @property
-    def _use_pisc(self) -> bool:
-        return self.config.use_pisc and self.microcode is not None
-
-    def prepare(self, ctx: ReplayContext) -> None:
-        ctx.piscs = [PiscEngine(p) for p in range(ctx.ncores)]
-        if self._use_pisc:
-            for p in ctx.piscs:
-                p.load_microcode(self.microcode)
-
-    def route(self, ctx: ReplayContext, trace: Trace,
-              prepass: TracePrepass) -> np.ndarray:
-        n = prepass.num_events
-        routes = np.zeros(n, dtype=np.int8)
-        num_sets = (
-            max(1, self.capacity_vertices // self.slots_per_set)
-            if self.capacity_vertices > 0
-            else 0
-        )
-        if num_sets == 0 or n == 0:
-            return routes
-        verts_all = np.asarray(trace.vertex, dtype=np.int64)
-        cand = prepass.vtxprop & (verts_all >= 0)
-        idx = np.flatnonzero(cand)
-        # Frequency training is inherently sequential (the running
-        # counts decide victims), but only the vtxProp subset walks it.
-        verts = verts_all[idx].tolist()
-        slots = self.slots_per_set
-        sets: List[dict] = [dict() for _ in range(num_sets)]
-        freq: dict = {}
-        resident_flags = [False] * len(verts)
-        for j, vertex in enumerate(verts):
-            count = freq.get(vertex, 0) + 1
-            freq[vertex] = count
-            entry_set = sets[vertex % num_sets]
-            if vertex in entry_set:
-                entry_set[vertex] = count
-                resident_flags[j] = True
-            elif len(entry_set) < slots:
-                entry_set[vertex] = count
-                resident_flags[j] = True
-            else:
-                victim = min(entry_set, key=entry_set.get)
-                if entry_set[victim] < count:
-                    del entry_set[victim]
-                    entry_set[vertex] = count
-                    resident_flags[j] = True
-        resident = np.zeros(n, dtype=bool)
-        resident[idx] = resident_flags
-        # Dynamic pads hash by vertex id, not by the static chunked map.
-        ctx.sp_home = np.where(verts_all >= 0, verts_all % ctx.ncores, 0)
-        ctx.sp_local = ctx.sp_home == np.asarray(trace.core, dtype=np.int64)
-        if self._use_pisc:
-            off = resident & prepass.atomic
-            routes[off] = ROUTE_SP_OFFLOAD
-            routes[resident & ~off] = ROUTE_SP_PLAIN
-        else:
-            routes[resident] = ROUTE_SP_PLAIN
-        return routes
-
-    def tag_overhead_fraction(self, vtxprop_entry_bytes: int,
-                              tag_bytes: int = 4) -> float:
-        """Storage overhead of the dynamic approach's per-entry tags.
-
-        The paper's rejection argument: "2x overhead for BFS assuming
-        32 bits per tag entry and 32 bits per vtxProp entry".
-        """
-        if vtxprop_entry_bytes <= 0:
-            raise SimulationError(
-                f"entry bytes must be > 0, got {vtxprop_entry_bytes}"
-            )
-        return tag_bytes / vtxprop_entry_bytes

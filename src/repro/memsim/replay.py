@@ -1,0 +1,202 @@
+"""The replay driver: pre-pass, route, cache stage, accounting.
+
+This is the engine's control flow, shared by every backend. A replay
+is four stages — interleave the trace, classify it in the vectorized
+pre-pass, ask the backend for one route code per event, then execute:
+cache-routed events run through the stateful
+:class:`~repro.memsim.cachestate.CacheSystem` kernel, everything else
+is batch-accounted by the backend. Telemetry sampling
+(:class:`~repro.obs.timeline.ReplaySampler`) switches execution to
+fixed-size windows over the same machinery via
+:class:`~repro.memsim.routes.WindowedRoutes`.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ligra.trace import Trace
+from repro.memsim.cache import Cache
+from repro.memsim.cachestate import CacheSystem
+from repro.memsim.coherence import Directory
+from repro.memsim.dram import DramModel
+from repro.memsim.interconnect import Crossbar
+from repro.memsim.pisc import PiscEngine
+from repro.memsim.prepass import TracePrepass, precompute
+from repro.memsim.routes import ROUTE_CACHE, WindowedRoutes
+from repro.memsim.srcbuffer import SourceVertexBuffer
+from repro.memsim.stats import MemStats
+from repro.obs import get_registry, get_tracer
+from repro.obs.timeline import ReplaySampler
+
+__all__ = ["ReplayOutput", "run_replay"]
+
+_LOG = logging.getLogger("repro.memsim.engine")
+
+
+@dataclass
+class ReplayOutput:
+    """Everything a replay produces, for the timing/energy models."""
+
+    stats: MemStats
+    dram: DramModel
+    crossbar: Crossbar
+    l1s: List[Cache]
+    l2_banks: List[Cache]
+    directory: Directory
+    srcbufs: Optional[List[SourceVertexBuffer]] = None
+    piscs: Optional[List[PiscEngine]] = None
+
+
+def run_replay(backend, trace: Trace,
+               sampler: Optional[ReplaySampler] = None) -> ReplayOutput:
+    """Replay ``trace`` through ``backend``; the engine template.
+
+    ``sampler`` (a :class:`repro.obs.ReplaySampler`) switches the
+    cache stage and the batch accounting to windowed execution: every
+    N events the cumulative counters are snapshotted into a timeline
+    row. The stateful cache system persists across windows and
+    per-route event order is unchanged, so all integer counters are
+    identical to the unwindowed replay; per-core latency sums differ
+    only by float-summation order.
+    """
+    from repro.memsim.accounting import ReplayContext
+
+    tracer = get_tracer()
+    metrics = get_registry()
+    with tracer.span("replay", cat="replay", backend=backend.name,
+                     events=trace.num_events) as replay_span:
+        with tracer.span("interleave", cat="replay"):
+            trace = trace.interleaved()
+        config = backend.config
+        ncores = config.core.num_cores
+        stats = MemStats(num_cores=ncores)
+        dram = DramModel(config.dram)
+        dram.set_random_ranges(backend.dram_random_ranges)
+        crossbar = Crossbar(config.interconnect, ncores)
+        system = CacheSystem(config, stats, dram, crossbar)
+        if backend.force_scalar_cache:
+            system.fast_path_ok = False
+        ctx = ReplayContext(
+            config=config, stats=stats, dram=dram, crossbar=crossbar,
+            system=system, ncores=ncores,
+        )
+        backend.prepare(ctx)
+        with tracer.span("prepass", cat="replay"):
+            prepass = precompute(
+                trace, config, mapping=backend.prepass_mapping()
+            )
+        with tracer.span("route", cat="replay"):
+            routes = backend.route(ctx, trace, prepass)
+
+        cache_idx = np.flatnonzero(routes == ROUTE_CACHE)
+        metrics.counter("replay.events").inc(prepass.num_events)
+        metrics.counter("replay.cache_events").inc(len(cache_idx))
+        metrics.counter("replay.offchip_routed_events").inc(
+            prepass.num_events - len(cache_idx)
+        )
+        if sampler is not None and prepass.num_events:
+            _run_windowed(
+                backend, ctx, trace, prepass, routes, cache_idx, sampler,
+                tracer,
+            )
+            replay_span.annotate(windows=sampler.timeline().num_windows)
+        else:
+            with tracer.span("cache_path", cat="replay",
+                             events=len(cache_idx)):
+                if len(cache_idx):
+                    system.replay_cache_path(
+                        trace.core[cache_idx],
+                        trace.addr[cache_idx],
+                        prepass.lines[cache_idx],
+                        prepass.banks[cache_idx],
+                        prepass.bank_keys[cache_idx],
+                        prepass.write[cache_idx],
+                        prepass.atomic[cache_idx],
+                        stats.core_mem_latency,
+                        stats.core_serial_cycles,
+                    )
+            with tracer.span("account", cat="replay"):
+                backend.account(ctx, trace, prepass, routes)
+        counts = np.bincount(
+            np.asarray(trace.core, dtype=np.int64), minlength=ncores
+        )
+        stats.core_accesses = [int(x) for x in counts]
+        backend.finalize(ctx)
+        _LOG.debug(
+            "replayed %d events through %s (%d cache-routed,"
+            " l2 hit rate %.4f)",
+            prepass.num_events, backend.name, len(cache_idx),
+            stats.l2_hit_rate,
+        )
+        return ReplayOutput(
+            stats=stats,
+            dram=dram,
+            crossbar=crossbar,
+            l1s=system.l1s,
+            l2_banks=system.l2_banks,
+            directory=system.directory,
+            srcbufs=ctx.srcbufs,
+            piscs=ctx.piscs,
+        )
+
+
+def _run_windowed(
+    backend,
+    ctx,
+    trace: Trace,
+    prepass: TracePrepass,
+    routes: np.ndarray,
+    cache_idx: np.ndarray,
+    sampler: ReplaySampler,
+    tracer,
+) -> None:
+    """Windowed cache stage + accounting for timeline sampling.
+
+    Each window replays its cache-routed slice through the shared
+    stateful system and batch-accounts its non-cache routes via a
+    masked copy of the route array
+    (:class:`~repro.memsim.routes.WindowedRoutes`: out-of-window
+    events carry the masked sentinel, which matches no route code),
+    then snapshots the cumulative counters into the sampler.
+    Accounting performed during :meth:`route` (e.g. source-buffer
+    hits) lands in the first window's row.
+    """
+    n = prepass.num_events
+    core = ctx.config.core
+    window = sampler.begin(
+        n, ctx.ncores, core.compute_cycles_per_access, core.mlp,
+        core.imbalance_factor, core.freq_ghz,
+    )
+    stats = ctx.stats
+    system = ctx.system
+    windowed = WindowedRoutes(routes)
+    lo = 0
+    while lo < n:
+        hi = min(lo + window, n)
+        wall_start = time.perf_counter()
+        with tracer.span("window", cat="replay", start_event=lo,
+                         end_event=hi):
+            ci_lo, ci_hi = np.searchsorted(cache_idx, (lo, hi))
+            sub = cache_idx[ci_lo:ci_hi]
+            if len(sub):
+                system.replay_cache_path(
+                    trace.core[sub],
+                    trace.addr[sub],
+                    prepass.lines[sub],
+                    prepass.banks[sub],
+                    prepass.bank_keys[sub],
+                    prepass.write[sub],
+                    prepass.atomic[sub],
+                    stats.core_mem_latency,
+                    stats.core_serial_cycles,
+                )
+            backend.account(ctx, trace, prepass, windowed.fill(lo, hi))
+            windowed.clear(lo, hi)
+        sampler.record(lo, hi, stats, time.perf_counter() - wall_start)
+        lo = hi

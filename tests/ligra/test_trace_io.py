@@ -1,10 +1,14 @@
 """Tests for trace persistence and the GraphMat execution mode."""
 
+import re
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.errors import SimulationError, TraceError
 from repro.ligra.trace import (
+    READABLE_TRACE_VERSIONS,
     TRACE_FORMAT_VERSION,
     AccessClass,
     FLAG_UPDATE,
@@ -94,6 +98,37 @@ class TestTraceFormat:
             }
         np.savez(path, **columns)
         assert Trace.load(path).num_events == 3
+
+    def test_load_accepts_every_readable_version(self, tmp_path):
+        # Version-1 archives are column-compatible with version 2 and
+        # must keep loading across the bump.
+        path = tmp_path / "t.npz"
+        self._trace().save(path)
+        with np.load(path) as data:
+            columns = {name: data[name] for name in data.files}
+        for version in sorted(READABLE_TRACE_VERSIONS):
+            columns["format_version"] = np.int64(version)
+            np.savez(path, **columns)
+            assert Trace.load(path).num_events == 3
+
+    def test_current_version_is_readable(self):
+        assert TRACE_FORMAT_VERSION in READABLE_TRACE_VERSIONS
+
+    def test_docs_match_constant(self):
+        # docs/trace-format.md states the current version inline; keep
+        # the prose honest when the constant moves.
+        doc = (
+            Path(__file__).resolve().parents[2] / "docs" / "trace-format.md"
+        ).read_text()
+        match = re.search(
+            r"TRACE_FORMAT_VERSION`, currently (\d+)", doc
+        )
+        assert match, "docs/trace-format.md no longer states the version"
+        assert int(match.group(1)) == TRACE_FORMAT_VERSION
+        readable = re.search(r"currently \{([0-9, ]+)\}", doc)
+        assert readable, "docs/trace-format.md no longer lists versions"
+        stated = {int(v) for v in readable.group(1).split(",")}
+        assert stated == set(READABLE_TRACE_VERSIONS)
 
     def test_regions_roundtrip(self, tmp_path):
         tr = self._trace()

@@ -1,0 +1,92 @@
+"""Unit tests for the cachestate helpers shared across the kernel."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cachestate import iter_set_bits, screen_guaranteed_hits
+
+
+class TestIterSetBits:
+    def test_empty_mask(self):
+        assert list(iter_set_bits(0)) == []
+
+    def test_single_bit_masks(self):
+        for pos in (0, 1, 7, 15, 31, 63):
+            assert list(iter_set_bits(1 << pos)) == [pos]
+
+    def test_full_mask(self):
+        assert list(iter_set_bits((1 << 16) - 1)) == list(range(16))
+
+    def test_sparse_mask_lsb_first(self):
+        mask = (1 << 2) | (1 << 5) | (1 << 11)
+        assert list(iter_set_bits(mask)) == [2, 5, 11]
+
+    def test_matches_bin_representation(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            mask = int(rng.integers(0, 1 << 20))
+            expect = [i for i in range(20) if mask >> i & 1]
+            assert list(iter_set_bits(mask)) == expect
+
+
+def screen(cores, lines, writes, num_sets=4):
+    return screen_guaranteed_hits(
+        np.asarray(cores, dtype=np.int64),
+        np.asarray(lines, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+        num_sets,
+    ).tolist()
+
+
+class TestScreenGuaranteedHits:
+    def test_empty_batch(self):
+        assert screen([], [], []) == []
+
+    def test_first_touch_never_screened(self):
+        assert screen([0], [10], [False]) == [False]
+
+    def test_immediate_reread_screened(self):
+        # Same core, same line, back to back: second event is a
+        # guaranteed MRU hit.
+        assert screen([0, 0], [10, 10], [False, False]) == [False, True]
+
+    def test_other_core_intervenes(self):
+        # Core 1 touches the line between core 0's two reads: the
+        # second read may have been invalidated, so it must replay.
+        assert screen(
+            [0, 1, 0], [10, 10, 10], [False] * 3
+        ) == [False, False, False]
+
+    def test_set_conflict_intervenes(self):
+        # Lines 2 and 6 share set 2 (num_sets=4): the conflicting
+        # touch could have evicted line 2, so no screen.
+        assert screen(
+            [0, 0, 0], [2, 6, 2], [False] * 3
+        ) == [False, False, False]
+
+    def test_different_set_does_not_block(self):
+        # Line 3 lives in another set; line 2 stays MRU in its own.
+        assert screen(
+            [0, 0, 0], [2, 3, 2], [False] * 3
+        ) == [False, False, True]
+
+    def test_write_after_read_not_screened(self):
+        # The write's dirty/directory transition is real work.
+        assert screen([0, 0], [10, 10], [False, True]) == [False, False]
+
+    def test_write_after_write_screened(self):
+        assert screen([0, 0], [10, 10], [True, True]) == [False, True]
+
+    def test_read_after_write_screened(self):
+        assert screen([0, 0], [10, 10], [True, False]) == [False, True]
+
+    def test_chain_of_repeats(self):
+        # Screening chains: every repeat after the first is covered.
+        assert screen(
+            [1] * 5, [7] * 5, [False] * 5
+        ) == [False, True, True, True, True]
+
+    @pytest.mark.parametrize("num_sets", [1, 2, 4, 16])
+    def test_never_screens_distinct_lines(self, num_sets):
+        out = screen([0, 0, 0], [1, 2, 3], [False] * 3, num_sets)
+        assert out == [False, False, False]
