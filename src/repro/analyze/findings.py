@@ -1,0 +1,75 @@
+"""Finding and rule-metadata value types for the invariant linter.
+
+A :class:`Finding` is one violation of one rule at one source
+location, repo-relative so reports are stable across machines.
+:class:`RuleInfo` is a rule's identity card — id, human name,
+severity, one-line description — shared by the registry, the text
+report, and the SARIF ``rules`` table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Finding", "RuleInfo"]
+
+
+class Severity:
+    """Finding severities (string constants, SARIF-compatible)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    #: Every legal severity value, in decreasing order of badness.
+    ALL = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Rule id (``DET001`` style).
+    rule: str
+    #: ``error`` or ``warning`` (see :class:`Severity`).
+    severity: str
+    #: Repo-relative posix path of the offending file.
+    path: str
+    #: 1-based line number (0 for whole-file findings).
+    line: int
+    #: Human-readable description of the violation.
+    message: str
+
+    def sort_key(self) -> "tuple[str, int, str, str]":
+        """Stable report order: path, line, rule, message."""
+        return (self.path, self.line, self.rule, self.message)
+
+    def format(self) -> str:
+        """One-line ``path:line: RULE severity: message`` rendering."""
+        return (
+            f"{self.path}:{self.line}: {self.rule}"
+            f" {self.severity}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Identity and default severity of one registered rule."""
+
+    #: Stable rule id (``DET001`` style) — what suppressions name.
+    id: str
+    #: Short kebab-case name (``determinism``).
+    name: str
+    #: Default severity of this rule's findings.
+    severity: str
+    #: One-line description for reports and the SARIF rules table.
+    description: str
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        """Construct a :class:`Finding` carrying this rule's identity."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            message=message,
+        )

@@ -1,0 +1,131 @@
+"""Parsed view of the repository the rules analyze.
+
+:class:`ProjectIndex` walks a checkout root, parses every module under
+``src/repro`` into an AST exactly once, and exposes lookup helpers the
+rules share: module-by-dotted-name, prefix iteration, and the doc
+pages (``README.md`` + ``docs/*.md``) the doc-sync rule cross-checks.
+
+Everything is pure reading — the analyzer never imports the code it
+checks, so a syntactically valid tree with a broken import graph still
+lints.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["SourceModule", "ProjectIndex", "AnalysisError"]
+
+
+class AnalysisError(ReproError):
+    """The analyzer could not read the project (bad root, parse error)."""
+
+
+class SourceModule:
+    """One parsed source file: dotted name, path, text, AST."""
+
+    def __init__(self, name: str, path: Path, rel_path: str,
+                 source: str) -> None:
+        #: Dotted module name (``repro.memsim.routes``).
+        self.name = name
+        #: Absolute path on disk.
+        self.path = path
+        #: Repo-relative posix path (what findings report).
+        self.rel_path = rel_path
+        #: Full source text.
+        self.source = source
+        #: Source split into lines (1-based access via ``line()``).
+        self.lines = source.splitlines()
+        try:
+            #: Parsed abstract syntax tree.
+            self.tree: ast.Module = ast.parse(source, filename=rel_path)
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"cannot parse {rel_path}: {exc}"
+            ) from exc
+
+    def line(self, lineno: int) -> str:
+        """Source text of 1-based line ``lineno`` ('' out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def _module_name(rel: Path) -> str:
+    """Dotted module name of a path relative to the ``src`` root."""
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class ProjectIndex:
+    """All parsed modules and doc pages of one checkout."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root).resolve()
+        src = self.root / "src"
+        package_root = src / "repro"
+        if not package_root.is_dir():
+            raise AnalysisError(
+                f"no src/repro package under {self.root}; pass the"
+                " checkout root (repro lint --root PATH)"
+            )
+        #: Dotted module name → :class:`SourceModule`.
+        self.modules: Dict[str, SourceModule] = {}
+        for path in sorted(package_root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel_src = path.relative_to(src)
+            name = _module_name(rel_src)
+            rel = path.relative_to(self.root).as_posix()
+            self.modules[name] = SourceModule(
+                name, path, rel, path.read_text()
+            )
+        self._docs: Optional[Dict[str, str]] = None
+
+    # -- module lookup -------------------------------------------------
+    def get(self, name: str) -> Optional[SourceModule]:
+        """Module by dotted name, or ``None`` when absent."""
+        return self.modules.get(name)
+
+    def iter_modules(self, *prefixes: str) -> Iterator[SourceModule]:
+        """Modules whose dotted name matches any prefix (all, if none).
+
+        A prefix matches the package itself and everything below it
+        (``repro.memsim`` matches ``repro.memsim`` and
+        ``repro.memsim.routes``).
+        """
+        for name in sorted(self.modules):
+            if not prefixes or any(
+                name == p or name.startswith(p + ".") for p in prefixes
+            ):
+                yield self.modules[name]
+
+    # -- docs ----------------------------------------------------------
+    def docs(self) -> Dict[str, str]:
+        """Doc pages (repo-relative posix path → text).
+
+        Covers ``README.md`` and every ``docs/*.md`` that exists;
+        empty when the checkout ships no docs (e.g. a bare package).
+        """
+        if self._docs is None:
+            pages: Dict[str, str] = {}
+            readme = self.root / "README.md"
+            if readme.is_file():
+                pages["README.md"] = readme.read_text()
+            docs_dir = self.root / "docs"
+            if docs_dir.is_dir():
+                for page in sorted(docs_dir.glob("*.md")):
+                    rel = page.relative_to(self.root).as_posix()
+                    pages[rel] = page.read_text()
+            self._docs = pages
+        return self._docs
+
+    def doc_text(self, rel_path: str) -> Optional[str]:
+        """Text of one doc page by repo-relative path, or ``None``."""
+        return self.docs().get(rel_path)

@@ -1,0 +1,92 @@
+"""Rule registry: id → (metadata, check function).
+
+Rules register with the :func:`rule` decorator; the battery runner
+iterates :func:`all_rules`. A rule is a plain function taking the
+parsed :class:`~repro.analyze.project.ProjectIndex` and yielding
+:class:`~repro.analyze.findings.Finding` objects — stateless, so the
+registry can run any subset in any order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.analyze.findings import Finding, RuleInfo, Severity
+from repro.analyze.project import ProjectIndex
+from repro.errors import ReproError
+
+__all__ = ["RegisteredRule", "rule", "all_rules", "get_rule", "rule_ids"]
+
+CheckFn = Callable[[ProjectIndex], Iterable[Finding]]
+
+
+class RegisteredRule:
+    """A rule's metadata plus its check function."""
+
+    def __init__(self, info: RuleInfo, check: CheckFn) -> None:
+        self.info = info
+        self._check = check
+
+    def check(self, project: ProjectIndex) -> List[Finding]:
+        """Run the rule over ``project``; returns its findings."""
+        return list(self._check(project))
+
+
+#: Registry of rule id → :class:`RegisteredRule`.
+_RULES: Dict[str, RegisteredRule] = {}
+
+
+def rule(
+    id: str,
+    name: str,
+    description: str,
+    severity: str = Severity.ERROR,
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator: register ``fn`` as the check for rule ``id``.
+
+    The decorated function gains an ``info`` attribute so rules can
+    mint findings with their own identity
+    (``check_foo.info.finding(path, line, msg)``).
+    """
+    if severity not in Severity.ALL:
+        raise ReproError(f"unknown severity {severity!r} for rule {id}")
+
+    def deco(fn: CheckFn) -> CheckFn:
+        if id in _RULES:
+            raise ReproError(f"duplicate rule id {id!r}")
+        info = RuleInfo(
+            id=id, name=name, severity=severity, description=description
+        )
+        _RULES[id] = RegisteredRule(info, fn)
+        fn.info = info  # type: ignore[attr-defined]
+        return fn
+
+    return deco
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (registration side effect)."""
+    from repro.analyze import rules  # noqa: F401 (imported for effect)
+
+
+def all_rules() -> List[RegisteredRule]:
+    """Every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [_RULES[rid] for rid in sorted(_RULES)]
+
+
+def rule_ids() -> List[str]:
+    """All registered rule ids, sorted."""
+    _load_builtin_rules()
+    return sorted(_RULES)
+
+
+def get_rule(rule_id: str) -> RegisteredRule:
+    """Look up one rule by id."""
+    _load_builtin_rules()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_RULES))}"
+        ) from None

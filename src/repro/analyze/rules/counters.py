@@ -1,0 +1,220 @@
+"""CNT001 — counters must be conserved end-to-end.
+
+``MemStats`` is the simulator's ledger: the replay engine and the
+backends increment its fields, and reports/manifests/timelines read
+them back out. A counter that is incremented but never reported is
+dead weight *and* a silent hole in the manifest-diff regression gate;
+one that is reported but never written is a constant-zero lie in
+every manifest. This rule cross-checks, statically:
+
+- the scalar ``int`` fields of ``MemStats`` (``repro.memsim.stats``),
+- the increment sites across the simulation + telemetry packages,
+- the reporting surface: ``MemStats.as_dict`` (transitively through
+  the derived-metric properties) and the timeline exporter's
+  ``_STAT_FIELDS`` snapshot tuple (``repro.obs.timeline``).
+
+Every written counter must be reachable from the reporting surface
+and every reported name must exist and be written somewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analyze.findings import Finding
+from repro.analyze.project import ProjectIndex
+from repro.analyze.registry import rule
+
+__all__ = ["check_counter_conservation"]
+
+#: Module holding the MemStats ledger.
+STATS_MODULE = "repro.memsim.stats"
+
+#: Module holding the windowed-timeline snapshot tuple.
+TIMELINE_MODULE = "repro.obs.timeline"
+
+#: Packages scanned for counter increments.
+WRITER_PACKAGES = ("repro.memsim", "repro.core", "repro.ligra", "repro.obs")
+
+
+def _self_attrs(node: ast.AST) -> Set[str]:
+    """Names accessed as ``self.X`` anywhere under ``node``."""
+    found: Set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            found.add(sub.attr)
+    return found
+
+
+def _memstats_surface(
+    tree: ast.Module,
+) -> Optional[Tuple[Dict[str, int], Dict[str, Set[str]], Set[str], int]]:
+    """Parse the MemStats class body.
+
+    Returns ``(scalar counter fields → def line, property name → self
+    attrs it reads, self attrs referenced by as_dict, as_dict line)``,
+    or ``None`` when the class is missing.
+    """
+    cls = next(
+        (
+            n for n in tree.body
+            if isinstance(n, ast.ClassDef) and n.name == "MemStats"
+        ),
+        None,
+    )
+    if cls is None:
+        return None
+    counters: Dict[str, int] = {}
+    properties: Dict[str, Set[str]] = {}
+    as_dict_reads: Set[str] = set()
+    as_dict_line = 0
+    for node in cls.body:
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and isinstance(node.annotation, ast.Name)
+            and node.annotation.id == "int"
+            and node.target.id != "num_cores"
+        ):
+            counters[node.target.id] = node.lineno
+        elif isinstance(node, ast.FunctionDef):
+            is_property = any(
+                isinstance(d, ast.Name) and d.id == "property"
+                for d in node.decorator_list
+            )
+            if is_property:
+                properties[node.name] = _self_attrs(node)
+            elif node.name == "as_dict":
+                as_dict_reads = _self_attrs(node)
+                as_dict_line = node.lineno
+    return counters, properties, as_dict_reads, as_dict_line
+
+
+def _reported_closure(as_dict_reads: Set[str],
+                      properties: Dict[str, Set[str]]) -> Set[str]:
+    """Fields reachable from as_dict, expanding derived properties."""
+    reported: Set[str] = set()
+    frontier = list(as_dict_reads)
+    seen: Set[str] = set()
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        if name in properties:
+            frontier.extend(properties[name])
+        else:
+            reported.add(name)
+    return reported
+
+
+def _written_fields(project: ProjectIndex,
+                    counters: Set[str]) -> Dict[str, List[str]]:
+    """Counter → modules that increment/assign it (outside stats.py)."""
+    written: Dict[str, List[str]] = {}
+    for module in project.iter_modules(*WRITER_PACKAGES):
+        if module.name == STATS_MODULE:
+            continue
+        hits: Set[str] = set()
+        for node in ast.walk(module.tree):
+            target: Optional[ast.expr] = None
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in counters
+            ):
+                hits.add(target.attr)
+        for name in hits:
+            written.setdefault(name, []).append(module.name)
+    return written
+
+
+@rule(
+    id="CNT001",
+    name="counter-conservation",
+    description=(
+        "every MemStats counter that is written must be reported"
+        " (as_dict or the timeline snapshot) and every reported"
+        " counter must be written"
+    ),
+)
+def check_counter_conservation(
+    project: ProjectIndex,
+) -> Iterator[Finding]:
+    """Cross-check counter writes against the reporting surface."""
+    info = check_counter_conservation.info  # type: ignore[attr-defined]
+    stats_mod = project.get(STATS_MODULE)
+    if stats_mod is None:
+        return
+    surface = _memstats_surface(stats_mod.tree)
+    if surface is None:
+        yield info.finding(
+            stats_mod.rel_path, 1,
+            "repro.memsim.stats no longer defines MemStats; the"
+            " counter-conservation check has nothing to anchor to",
+        )
+        return
+    counters, properties, as_dict_reads, as_dict_line = surface
+    reported = _reported_closure(as_dict_reads, properties)
+
+    snapshot_fields: Set[str] = set()
+    snapshot_line = 0
+    timeline_mod = project.get(TIMELINE_MODULE)
+    if timeline_mod is not None:
+        from repro.analyze.astutil import module_constant
+
+        value, snapshot_line = module_constant(
+            timeline_mod.tree, "_STAT_FIELDS"
+        )
+        if isinstance(value, (tuple, list)):
+            snapshot_fields = {v for v in value if isinstance(v, str)}
+        for name in sorted(snapshot_fields - set(counters)):
+            yield info.finding(
+                timeline_mod.rel_path, snapshot_line,
+                f"timeline snapshot field {name!r} is not a MemStats"
+                " counter; the windowed exporter would raise at"
+                " runtime",
+            )
+
+    written = _written_fields(project, set(counters))
+
+    for name, lineno in sorted(counters.items()):
+        is_written = name in written
+        is_reported = name in reported or name in snapshot_fields
+        if is_written and not is_reported:
+            yield info.finding(
+                stats_mod.rel_path, lineno,
+                f"counter {name!r} is written"
+                f" (in {', '.join(sorted(written[name]))}) but never"
+                " reported: add it to MemStats.as_dict (directly or"
+                " via a derived property) or to the timeline"
+                " _STAT_FIELDS snapshot",
+            )
+        elif is_reported and not is_written:
+            yield info.finding(
+                stats_mod.rel_path, lineno,
+                f"counter {name!r} is reported but never written"
+                " anywhere in the simulation or telemetry packages —"
+                " every manifest would carry a constant zero",
+            )
+
+    # as_dict referencing a nonexistent field/property is a typo that
+    # would raise at report time; catch it before a run does.
+    known = set(counters) | set(properties)
+    for name in sorted(as_dict_reads - known):
+        if name == "num_cores" or name.startswith("core_") \
+                or name == "pisc_occupancy":
+            continue  # per-core list fields are outside this rule
+        yield info.finding(
+            stats_mod.rel_path, as_dict_line,
+            f"MemStats.as_dict references {name!r}, which is neither"
+            " a counter field nor a derived property",
+        )

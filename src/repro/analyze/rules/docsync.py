@@ -1,0 +1,204 @@
+"""DOC001 — flags, env vars, and format versions must match the docs.
+
+The docs promise specific knobs and version numbers; nothing enforced
+them. Three sub-checks, each importable on its own for targeted
+tests:
+
+- :func:`check_cli_flags` — every ``--flag`` registered in
+  ``repro.cli`` appears in ``README.md`` or a ``docs/*.md`` page;
+- :func:`check_env_vars` — every ``REPRO_*`` environment variable
+  named by a string literal anywhere in the package appears in the
+  docs;
+- :func:`check_version_sync` — the trace format version constants
+  (``TRACE_FORMAT_VERSION``, ``READABLE_TRACE_VERSIONS``), the
+  manifest schema tag (``MANIFEST_SCHEMA``) and the timeline schema
+  tag (``TIMELINE_SCHEMA``) agree with what
+  ``docs/trace-format.md`` states inline.
+
+When the checkout ships no docs at all (bare package install) the
+rule is silent — there is nothing to keep in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set, Tuple
+
+from repro.analyze.astutil import module_constant
+from repro.analyze.findings import Finding, RuleInfo
+from repro.analyze.project import ProjectIndex
+from repro.analyze.registry import rule
+
+__all__ = [
+    "check_docs_sync",
+    "check_cli_flags",
+    "check_env_vars",
+    "check_version_sync",
+]
+
+CLI_MODULE = "repro.cli"
+TRACE_MODULE = "repro.ligra.trace"
+REPORT_MODULE = "repro.core.report"
+TIMELINE_MODULE = "repro.obs.timeline"
+TRACE_DOC = "docs/trace-format.md"
+
+_ENV_VAR = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+
+def _doc_corpus(project: ProjectIndex) -> str:
+    """Every doc page concatenated (for containment checks)."""
+    return "\n".join(project.docs().values())
+
+
+def check_cli_flags(project: ProjectIndex,
+                    info: RuleInfo) -> Iterator[Finding]:
+    """Every registered ``--flag`` must appear in the docs."""
+    cli = project.get(CLI_MODULE)
+    if cli is None or not project.docs():
+        return
+    corpus = _doc_corpus(project)
+    seen: Set[str] = set()
+    for node in ast.walk(cli.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.startswith("--")
+        ):
+            continue
+        flag = node.args[0].value
+        if flag in seen:
+            continue
+        seen.add(flag)
+        if flag not in corpus:
+            yield info.finding(
+                cli.rel_path, node.lineno,
+                f"CLI flag {flag} is not documented in README.md or"
+                " any docs/*.md page",
+            )
+
+
+def check_env_vars(project: ProjectIndex,
+                   info: RuleInfo) -> Iterator[Finding]:
+    """Every ``REPRO_*`` env var named in the code must be documented."""
+    if not project.docs():
+        return
+    corpus = _doc_corpus(project)
+    seen: Set[str] = set()
+    for module in project.iter_modules("repro"):
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _ENV_VAR.match(node.value)
+            ):
+                continue
+            var = node.value
+            if var in seen:
+                continue
+            seen.add(var)
+            if var not in corpus:
+                yield info.finding(
+                    module.rel_path, node.lineno,
+                    f"environment variable {var} is not documented in"
+                    " README.md or any docs/*.md page",
+                )
+
+
+def _stated_versions(doc: str) -> Tuple[int, Set[int]]:
+    """(current version, readable set) as stated by the trace doc.
+
+    Returns ``(-1, set())`` components for statements the doc no
+    longer makes — the caller reports those as findings.
+    """
+    current = -1
+    match = re.search(r"TRACE_FORMAT_VERSION`, currently (\d+)", doc)
+    if match:
+        current = int(match.group(1))
+    readable: Set[int] = set()
+    match = re.search(r"currently \{([0-9, ]+)\}", doc)
+    if match:
+        readable = {int(v) for v in match.group(1).split(",")}
+    return current, readable
+
+
+def check_version_sync(project: ProjectIndex,
+                       info: RuleInfo) -> Iterator[Finding]:
+    """Format-version constants must match the docs' inline claims."""
+    doc = project.doc_text(TRACE_DOC)
+    if doc is None:
+        return
+    stated_current, stated_readable = _stated_versions(doc)
+
+    trace = project.get(TRACE_MODULE)
+    if trace is not None:
+        value, lineno = module_constant(
+            trace.tree, "TRACE_FORMAT_VERSION"
+        )
+        if isinstance(value, int):
+            if stated_current == -1:
+                yield info.finding(
+                    trace.rel_path, lineno,
+                    f"{TRACE_DOC} no longer states the current trace"
+                    " format version ('TRACE_FORMAT_VERSION`,"
+                    " currently N')",
+                )
+            elif stated_current != value:
+                yield info.finding(
+                    trace.rel_path, lineno,
+                    f"TRACE_FORMAT_VERSION is {value} but"
+                    f" {TRACE_DOC} states {stated_current}",
+                )
+        readable, lineno = module_constant(
+            trace.tree, "READABLE_TRACE_VERSIONS"
+        )
+        if isinstance(readable, (set, frozenset, tuple, list)):
+            actual = {int(v) for v in readable}
+            if not stated_readable:
+                yield info.finding(
+                    trace.rel_path, lineno,
+                    f"{TRACE_DOC} no longer lists the readable trace"
+                    " versions ('currently {…}')",
+                )
+            elif stated_readable != actual:
+                yield info.finding(
+                    trace.rel_path, lineno,
+                    "READABLE_TRACE_VERSIONS is"
+                    f" {sorted(actual)} but {TRACE_DOC} states"
+                    f" {sorted(stated_readable)}",
+                )
+
+    for module_name, constant in (
+        (REPORT_MODULE, "MANIFEST_SCHEMA"),
+        (TIMELINE_MODULE, "TIMELINE_SCHEMA"),
+    ):
+        module = project.get(module_name)
+        if module is None:
+            continue
+        value, lineno = module_constant(module.tree, constant)
+        if isinstance(value, str) and value not in doc:
+            yield info.finding(
+                module.rel_path, lineno,
+                f"{constant} is {value!r} but {TRACE_DOC} never"
+                " mentions that tag; update the schema section",
+            )
+
+
+@rule(
+    id="DOC001",
+    name="docs-sync",
+    description=(
+        "CLI flags, REPRO_* env vars, and format-version constants"
+        " match what the docs state"
+    ),
+)
+def check_docs_sync(project: ProjectIndex) -> Iterator[Finding]:
+    """Run the three documentation cross-checks."""
+    info = check_docs_sync.info  # type: ignore[attr-defined]
+    yield from check_cli_flags(project, info)
+    yield from check_env_vars(project, info)
+    yield from check_version_sync(project, info)

@@ -1,0 +1,224 @@
+"""PRT001 — backends implement the HierarchyBackend surface, registered.
+
+The pluggable-replay design only works if every module under
+``memsim/backends/`` is a well-formed plug: it defines a
+``HierarchyBackend`` subclass, registers it by name
+(``@register_backend``), exports it from the package hub, and
+overrides only hooks that actually exist on the protocol — a typo'd
+``acount`` method would silently fall back to the base implementation
+and drop that backend's accounting. Checked statically per backend
+module:
+
+- at least one ``HierarchyBackend`` subclass exists;
+- each subclass carries a ``@register_backend("name")`` decorator and
+  names are unique across the package;
+- overridden protocol hooks match the base signature (same positional
+  parameter names);
+- public methods that are *near-misses* of a hook name (``acount``,
+  ``finalise``) are flagged; genuinely new helpers are fine;
+- ``__init__`` chains to ``super().__init__`` so shared state
+  (config, microcode slots, DRAM ranges) is initialized;
+- the class is re-exported by ``backends/__init__`` and listed in its
+  ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analyze.astutil import string_tuple_constant
+from repro.analyze.findings import Finding
+from repro.analyze.project import ProjectIndex, SourceModule
+from repro.analyze.registry import rule
+
+__all__ = ["check_protocol_completeness"]
+
+BACKENDS_PACKAGE = "repro.memsim.backends"
+BASE_MODULE = "repro.memsim.backends.base"
+#: Modules in the package that are not backend plugs.
+_INFRA_MODULES = (BACKENDS_PACKAGE, BASE_MODULE,
+                  "repro.memsim.backends.registry")
+
+
+def _class_defs(tree: ast.Module) -> List[ast.ClassDef]:
+    return [n for n in tree.body if isinstance(n, ast.ClassDef)]
+
+
+def _base_surface(base_mod: SourceModule) -> Dict[str, List[str]]:
+    """Hook name → positional parameter names of HierarchyBackend."""
+    for cls in _class_defs(base_mod.tree):
+        if cls.name != "HierarchyBackend":
+            continue
+        surface: Dict[str, List[str]] = {}
+        for node in cls.body:
+            if isinstance(node, ast.FunctionDef):
+                surface[node.name] = [a.arg for a in node.args.args]
+        return surface
+    return {}
+
+
+def _is_property(fn: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(d, ast.Name) and d.id == "property"
+        for d in fn.decorator_list
+    )
+
+
+def _registered_name(cls: ast.ClassDef) -> Optional[str]:
+    """The ``@register_backend("name")`` argument, if present."""
+    for deco in cls.decorator_list:
+        if (
+            isinstance(deco, ast.Call)
+            and isinstance(deco.func, ast.Name)
+            and deco.func.id == "register_backend"
+            and deco.args
+            and isinstance(deco.args[0], ast.Constant)
+            and isinstance(deco.args[0].value, str)
+        ):
+            return deco.args[0].value
+    return None
+
+
+def _subclasses_backend(cls: ast.ClassDef) -> bool:
+    return any(
+        (isinstance(b, ast.Name) and b.id == "HierarchyBackend")
+        or (isinstance(b, ast.Attribute) and b.attr == "HierarchyBackend")
+        for b in cls.bases
+    )
+
+
+def _calls_super_init(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            return True
+    return False
+
+
+def _hub_exports(hub: SourceModule) -> Set[str]:
+    """Names imported by ``backends/__init__`` and listed in __all__."""
+    imported: Set[str] = set()
+    for node in hub.tree.body:
+        if isinstance(node, ast.ImportFrom):
+            imported |= {a.asname or a.name for a in node.names}
+    exported = string_tuple_constant(hub.tree, "__all__")
+    return imported & exported if exported else imported
+
+
+@rule(
+    id="PRT001",
+    name="protocol-completeness",
+    description=(
+        "every backends/ module defines a registered HierarchyBackend"
+        " subclass whose overrides match the protocol surface and is"
+        " exported from the package hub"
+    ),
+)
+def check_protocol_completeness(
+    project: ProjectIndex,
+) -> Iterator[Finding]:
+    """Validate each backend plug against the protocol surface."""
+    info = check_protocol_completeness.info  # type: ignore[attr-defined]
+    base_mod = project.get(BASE_MODULE)
+    if base_mod is None:
+        return
+    surface = _base_surface(base_mod)
+    if not surface:
+        yield info.finding(
+            base_mod.rel_path, 1,
+            "backends/base.py no longer defines HierarchyBackend; the"
+            " protocol check has nothing to anchor to",
+        )
+        return
+    hook_names = sorted(surface)
+
+    hub = project.get(BACKENDS_PACKAGE)
+    hub_names = _hub_exports(hub) if hub is not None else set()
+
+    seen_names: Dict[str, str] = {}
+    for module in project.iter_modules(BACKENDS_PACKAGE):
+        if module.name in _INFRA_MODULES:
+            continue
+        backend_classes = [
+            c for c in _class_defs(module.tree) if _subclasses_backend(c)
+        ]
+        if not backend_classes:
+            yield info.finding(
+                module.rel_path, 1,
+                "backend module defines no HierarchyBackend subclass;"
+                " move helpers elsewhere or add the backend class",
+            )
+            continue
+        for cls in backend_classes:
+            reg_name = _registered_name(cls)
+            if reg_name is None:
+                yield info.finding(
+                    module.rel_path, cls.lineno,
+                    f"{cls.name} subclasses HierarchyBackend but is"
+                    " not decorated with @register_backend(name);"
+                    " unregistered backends are unreachable from"
+                    " run_system/the CLI",
+                )
+            elif reg_name in seen_names:
+                yield info.finding(
+                    module.rel_path, cls.lineno,
+                    f"backend name {reg_name!r} already registered by"
+                    f" {seen_names[reg_name]}; names must be unique",
+                )
+            else:
+                seen_names[reg_name] = cls.name
+
+            init_fn: Optional[ast.FunctionDef] = None
+            for node in cls.body:
+                if not isinstance(node, ast.FunctionDef):
+                    continue
+                if node.name == "__init__":
+                    init_fn = node
+                    continue
+                if _is_property(node) or node.name.startswith("_"):
+                    continue
+                if node.name in surface:
+                    base_args = surface[node.name]
+                    own_args = [a.arg for a in node.args.args]
+                    if own_args != base_args:
+                        yield info.finding(
+                            module.rel_path, node.lineno,
+                            f"{cls.name}.{node.name} signature"
+                            f" ({', '.join(own_args)}) does not match"
+                            " the HierarchyBackend hook"
+                            f" ({', '.join(base_args)})",
+                        )
+                else:
+                    near = difflib.get_close_matches(
+                        node.name, hook_names, n=1, cutoff=0.75
+                    )
+                    if near:
+                        yield info.finding(
+                            module.rel_path, node.lineno,
+                            f"{cls.name}.{node.name} is not a"
+                            " HierarchyBackend hook — did you mean"
+                            f" {near[0]!r}? A typo here silently"
+                            " falls back to the base implementation",
+                        )
+            if init_fn is not None and not _calls_super_init(init_fn):
+                yield info.finding(
+                    module.rel_path, init_fn.lineno,
+                    f"{cls.name}.__init__ never calls"
+                    " super().__init__(config); shared backend state"
+                    " (config, microcode, DRAM ranges) stays"
+                    " uninitialized",
+                )
+            if hub is not None and cls.name not in hub_names:
+                yield info.finding(
+                    module.rel_path, cls.lineno,
+                    f"{cls.name} is not re-exported (imported and"
+                    " listed in __all__) by backends/__init__.py",
+                )

@@ -10,6 +10,7 @@ Usage::
     python -m repro sweep --algorithms pagerank,bfs --datasets sd,lj \
         --backends baseline,omega --workers 4 --json-out sweep.json
     python -m repro report old-manifest.json new-manifest.json
+    python -m repro lint --format sarif --out lint.sarif
 
 All numbers come from the same drivers the benchmark harness uses.
 ``run``, ``compare`` and ``sweep`` consult the persistent trace store
@@ -17,14 +18,16 @@ when ``--cache-dir`` (or ``REPRO_CACHE_DIR``) names one; ``--no-cache``
 bypasses it.
 
 Exit codes: 0 success, 1 check/regression failure (``validate``,
-``report``), 2 usage error (unknown dataset/algorithm/backend, bad
-manifest), each reported as a one-line ``error:`` message on stderr.
+``report``, ``lint``), 2 usage error (unknown dataset/algorithm/
+backend, bad manifest), each reported as a one-line ``error:`` message
+on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
@@ -150,6 +153,31 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--tolerance", type=float, default=0.05,
         help="allowed relative regression per metric (default 0.05)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static invariant battery over the source tree;"
+             " exit 1 on unsuppressed findings",
+    )
+    lint.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="checkout root holding src/repro (default: the root of"
+             " the installed package's own checkout)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default text; json is the stable"
+             " omega-repro/lint/v1 document, sarif is SARIF 2.1.0)",
+    )
+    lint.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    lint.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all;"
+             " suppression hygiene always runs)",
     )
     return parser
 
@@ -355,6 +383,40 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _default_lint_root() -> str:
+    """The checkout root of the running package (…/src/repro → root)."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[2])
+
+
+def _cmd_lint(args) -> int:
+    from repro import __version__ as version
+    from repro.analyze import dump_json, run_battery, to_json, to_sarif, to_text
+
+    root = args.root or _default_lint_root()
+    rules = None
+    if args.rules is not None:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        if not rules:
+            raise ReproError("--rules given but no rule ids parsed")
+    result = run_battery(root, rules=rules)
+
+    if args.format == "json":
+        text = dump_json(to_json(result.findings, result.suppressed))
+    elif args.format == "sarif":
+        text = dump_json(to_sarif(result.findings, result.rules, version))
+    else:
+        text = to_text(result.findings, len(result.suppressed))
+
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"report: {args.out}")
+    else:
+        print(text, end="")
+    return result.exit_code()
+
+
 def _cmd_report(args) -> int:
     from repro.obs import diff_manifests, format_report, load_manifest
 
@@ -382,6 +444,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

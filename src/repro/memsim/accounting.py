@@ -19,6 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.config import SimConfig
+from repro.errors import SimulationError
 from repro.ligra.trace import Trace
 from repro.memsim.cachestate import CacheSystem
 from repro.memsim.dram import DramModel
@@ -173,12 +174,18 @@ def account_offload(ctx: ReplayContext, trace: Trace,
     verts = np.asarray(trace.vertex[idx], dtype=np.int64)
     cycles = microcode.cycles
     occupancy = stats.pisc_occupancy
+    piscs = ctx.piscs
+    if piscs is None:
+        raise SimulationError(
+            "account_offload called without PISC engines; the backend's"
+            " prepare() must populate ctx.piscs before routing offloads"
+        )
     for p in range(ctx.ncores):
         vs = verts[homes == p]
         cnt = len(vs)
         if not cnt:
             continue
-        pisc = ctx.piscs[p]
+        pisc = piscs[p]
         pisc.ops_executed += cnt
         pisc.busy_cycles += cnt * cycles
         # Same-vertex back-to-back ops serialize on the pad controller.

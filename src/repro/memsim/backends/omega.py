@@ -25,6 +25,11 @@ from repro.memsim.srcbuffer import SourceVertexBuffer
 
 __all__ = ["OmegaBackend"]
 
+#: Source-buffer hits are charged inside :func:`srcbuf_stage` while the
+#: route is being decided (the LRU walk knows the hit the moment it
+#: happens), so ``account`` never sees this code again.
+ROUTES_ACCOUNTED_AT_ROUTE_TIME = ("ROUTE_SRCBUF_HIT",)
+
 
 @register_backend("omega")
 class OmegaBackend(HierarchyBackend):

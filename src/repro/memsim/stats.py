@@ -138,11 +138,14 @@ class MemStats:
             "l1_misses": self.l1_misses,
             "l2_hits": self.l2_hits,
             "l2_misses": self.l2_misses,
+            "prefetch_hits": self.prefetch_hits,
             "l1_hit_rate": self.l1_hit_rate,
             "l2_hit_rate": self.l2_hit_rate,
             "last_level_hit_rate": self.last_level_hit_rate,
             "sp_local": self.sp_local_accesses,
             "sp_remote": self.sp_remote_accesses,
+            "sp_plain_accesses": self.sp_plain_accesses,
+            "sp_plain_remote_share": self.sp_plain_remote_share,
             "srcbuf_hits": self.srcbuf_hits,
             "pisc_ops": self.pisc_ops,
             "atomics_total": self.atomics_total,

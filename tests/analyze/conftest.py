@@ -1,0 +1,54 @@
+"""Shared helpers for the analyzer tests.
+
+Two ways to build a checkout for the battery to chew on:
+
+- ``make_tree(tmp_path, files)`` writes an inline mini-tree from a
+  ``{relative path: source}`` mapping (dedented), always ensuring the
+  ``src/repro/__init__.py`` anchor exists;
+- ``fixture_tree(name)`` returns the path of an on-disk fixture
+  checkout under ``tests/analyze/fixtures/`` (each is a complete
+  miniature repo: ``src/repro/...`` plus optional docs).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The real checkout this test file lives in.
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_tree(root: Path, files: Dict[str, str]) -> Path:
+    """Write a miniature checkout under ``root`` and return it."""
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    anchor = root / "src" / "repro" / "__init__.py"
+    if not anchor.exists():
+        anchor.parent.mkdir(parents=True, exist_ok=True)
+        anchor.write_text('"""Fixture package."""\n')
+    return root
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Factory fixture: ``tree({path: source, ...})`` → checkout root."""
+
+    def build(files: Dict[str, str]) -> Path:
+        return make_tree(tmp_path, files)
+
+    return build
+
+
+def fixture_tree(name: str) -> Path:
+    """Path of the on-disk fixture checkout ``name``."""
+    path = FIXTURES / name
+    assert path.is_dir(), f"missing fixture tree {name}"
+    return path

@@ -1,0 +1,5 @@
+"""Fixture: the increment site for the unreported counter."""
+
+
+def bump(stats) -> None:
+    stats.dropped_events += 1

@@ -1,0 +1,12 @@
+"""Fixture: one counter written-never-reported, one the reverse (CNT001)."""
+
+
+class MemStats:
+    num_cores: int = 4
+    #: Incremented by engine.py but missing from as_dict.
+    dropped_events: int = 0
+    #: In as_dict but nothing ever writes it.
+    phantom_hits: int = 0
+
+    def as_dict(self):
+        return {"phantom_hits": self.phantom_hits}

@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read inside the simulation packages (DET001)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

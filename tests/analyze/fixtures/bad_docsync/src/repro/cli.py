@@ -1,0 +1,11 @@
+"""Fixture CLI: one undocumented flag, one undocumented env var."""
+
+import argparse
+
+CACHE_ENV = "REPRO_SECRET"
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--mystery", help="never documented")
+    return parser

@@ -1,0 +1,4 @@
+"""Fixture trace constants that drifted ahead of the docs."""
+
+TRACE_FORMAT_VERSION = 3
+READABLE_TRACE_VERSIONS = frozenset({1, 2, 3})

@@ -1,0 +1,12 @@
+"""Fixture protocol surface."""
+
+
+class HierarchyBackend:
+    def __init__(self, config):
+        self.config = config
+
+    def route(self, ctx, trace, prepass):
+        raise NotImplementedError
+
+    def account(self, ctx, trace, prepass, routes):
+        raise NotImplementedError

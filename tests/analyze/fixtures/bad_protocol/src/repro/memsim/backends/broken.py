@@ -1,0 +1,18 @@
+"""Fixture backend violating most of the protocol rule (PRT001):
+
+unregistered, ``acount`` typo of the ``account`` hook, ``__init__``
+never chains to super, and the hub exports nothing.
+"""
+
+from repro.memsim.backends.base import HierarchyBackend
+
+
+class BrokenBackend(HierarchyBackend):
+    def __init__(self, config):
+        self.config = config
+
+    def route(self, ctx, trace, prepass):
+        return None
+
+    def acount(self, ctx, trace, prepass, routes):
+        return None

@@ -1,0 +1,8 @@
+"""Fixture backend: emits ROUTE_SP but never accounts it."""
+
+from repro.memsim.routes import ROUTE_SP
+
+
+def route(routes, mask):
+    routes[mask] = ROUTE_SP
+    return routes

@@ -1,0 +1,7 @@
+"""Fixture engine: owns the cache route only."""
+
+from repro.memsim.routes import ROUTE_CACHE
+
+
+def replay(routes):
+    return routes == ROUTE_CACHE

@@ -1,0 +1,6 @@
+"""Fixture route table: one dangling code, one dead code (RTE001)."""
+
+ROUTE_CACHE = 0
+ROUTE_SP = 1
+#: Defined but never emitted and not declared unused.
+ROUTE_GHOST = 2

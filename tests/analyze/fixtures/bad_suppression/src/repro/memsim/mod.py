@@ -1,0 +1,10 @@
+"""Fixture: malformed and unknown-rule suppressions (SUP001)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro: noqa[DET001]
+
+
+LIMIT = 1  # repro: noqa[ZZZ999] -- no rule has this id

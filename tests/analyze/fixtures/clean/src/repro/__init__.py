@@ -1,0 +1,8 @@
+"""A minimal checkout the full battery finds nothing wrong with."""
+
+import time
+
+
+def elapsed(start: float) -> float:
+    """Host-side timing is fine outside the simulation packages."""
+    return time.perf_counter() - start

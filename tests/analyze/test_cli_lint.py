@@ -1,0 +1,90 @@
+"""The ``repro lint`` subcommand: formats, outputs, exit codes."""
+
+import json
+
+from repro.cli import main
+
+from tests.analyze.conftest import REPO_ROOT, fixture_tree
+
+BAD_FIXTURES = (
+    "bad_determinism",
+    "bad_counters",
+    "bad_routing",
+    "bad_protocol",
+    "bad_docsync",
+    "bad_suppression",
+)
+
+
+def test_lint_exits_zero_on_clean_fixture(capsys):
+    code = main(["lint", "--root", str(fixture_tree("clean"))])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_lint_exits_one_on_each_bad_fixture(capsys):
+    for name in BAD_FIXTURES:
+        code = main(["lint", "--root", str(fixture_tree(name))])
+        assert code == 1, f"{name} should fail the battery"
+        out = capsys.readouterr().out
+        assert "error:" in out, f"{name} printed no findings"
+
+
+def test_lint_defaults_to_own_checkout(capsys):
+    # No --root: lints the checkout the package runs from, which must
+    # be clean (the self-check test asserts the same through the API).
+    code = main(["lint"])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_lint_json_format(capsys):
+    code = main([
+        "lint", "--root", str(fixture_tree("bad_determinism")),
+        "--format", "json",
+    ])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "omega-repro/lint/v1"
+    assert doc["summary"]["errors"] == 1
+    assert doc["findings"][0]["rule"] == "DET001"
+
+
+def test_lint_sarif_to_file(tmp_path, capsys):
+    out_path = tmp_path / "lint.sarif"
+    code = main([
+        "lint", "--root", str(fixture_tree("bad_routing")),
+        "--format", "sarif", "--out", str(out_path),
+    ])
+    assert code == 1
+    assert f"report: {out_path}" in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    assert doc["version"] == "2.1.0"
+    rule_ids = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+    assert "RTE001" in rule_ids and "SUP001" in rule_ids
+    assert {r["ruleId"] for r in doc["runs"][0]["results"]} == {"RTE001"}
+
+
+def test_lint_rule_subset(capsys):
+    # The determinism fixture is clean under every rule but DET001.
+    code = main([
+        "lint", "--root", str(fixture_tree("bad_determinism")),
+        "--rules", "CNT001,RTE001",
+    ])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_lint_unknown_rule_is_usage_error(capsys):
+    code = main([
+        "lint", "--root", str(REPO_ROOT), "--rules", "NOPE001",
+    ])
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_lint_bad_root_is_usage_error(tmp_path, capsys):
+    code = main(["lint", "--root", str(tmp_path)])
+    assert code == 2
+    assert "no src/repro package" in capsys.readouterr().err

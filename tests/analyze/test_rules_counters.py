@@ -1,0 +1,121 @@
+"""CNT001: counter conservation between writers and reporters."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+
+def cnt(root):
+    result = run_battery(root, rules=["CNT001"])
+    return [f for f in result.findings if f.rule == "CNT001"]
+
+
+def test_bad_fixture_flags_both_directions():
+    findings = cnt(fixture_tree("bad_counters"))
+    messages = {f.message.split("'")[1]: f.message for f in findings}
+    assert set(messages) == {"dropped_events", "phantom_hits"}
+    assert "never reported" in messages["dropped_events"]
+    assert "never written" in messages["phantom_hits"]
+    assert all(f.path == "src/repro/memsim/stats.py" for f in findings)
+
+
+def test_counter_reported_through_property_closure(tree):
+    root = tree({
+        "src/repro/memsim/stats.py": """\
+            class MemStats:
+                hits: int = 0
+                misses: int = 0
+
+                @property
+                def accesses(self):
+                    return self.hits + self.misses
+
+                @property
+                def hit_rate(self):
+                    return self.hits / self.accesses if self.accesses else 0.0
+
+                def as_dict(self):
+                    return {"hit_rate": self.hit_rate}
+            """,
+        "src/repro/memsim/engine.py": """\
+            def bump(stats):
+                stats.hits += 1
+                stats.misses += 1
+            """,
+    })
+    assert cnt(root) == []
+
+
+def test_counter_reported_via_timeline_snapshot(tree):
+    root = tree({
+        "src/repro/memsim/stats.py": """\
+            class MemStats:
+                evictions: int = 0
+
+                def as_dict(self):
+                    return {}
+            """,
+        "src/repro/memsim/engine.py": """\
+            def bump(stats):
+                stats.evictions += 1
+            """,
+        "src/repro/obs/timeline.py": """\
+            _STAT_FIELDS = ("evictions",)
+            """,
+    })
+    assert cnt(root) == []
+
+
+def test_snapshot_field_must_be_a_counter(tree):
+    root = tree({
+        "src/repro/memsim/stats.py": """\
+            class MemStats:
+                hits: int = 0
+
+                def as_dict(self):
+                    return {"hits": self.hits}
+            """,
+        "src/repro/memsim/engine.py": """\
+            def bump(stats):
+                stats.hits += 1
+            """,
+        "src/repro/obs/timeline.py": """\
+            _STAT_FIELDS = ("hits", "no_such_counter")
+            """,
+    })
+    findings = cnt(root)
+    assert len(findings) == 1
+    assert "no_such_counter" in findings[0].message
+    assert findings[0].path == "src/repro/obs/timeline.py"
+
+
+def test_as_dict_typo_flagged(tree):
+    root = tree({
+        "src/repro/memsim/stats.py": """\
+            class MemStats:
+                hits: int = 0
+
+                def as_dict(self):
+                    return {"hits": self.hitz}
+            """,
+        "src/repro/memsim/engine.py": """\
+            def bump(stats):
+                stats.hits += 1
+            """,
+        "src/repro/obs/timeline.py": """\
+            _STAT_FIELDS = ("hits",)
+            """,
+    })
+    findings = cnt(root)
+    assert len(findings) == 1
+    assert "hitz" in findings[0].message
+
+
+def test_silent_without_memstats_module(tree):
+    root = tree({
+        "src/repro/core/run.py": """\
+            def run():
+                return 0
+            """,
+    })
+    assert cnt(root) == []

@@ -1,0 +1,145 @@
+"""DET001: entropy sources in the simulation packages."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+
+def det(root):
+    result = run_battery(root, rules=["DET001"])
+    return [f for f in result.findings if f.rule == "DET001"]
+
+
+def test_bad_fixture_flags_wall_clock():
+    findings = det(fixture_tree("bad_determinism"))
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.path == "src/repro/memsim/clock.py"
+    assert "time.time" in f.message
+    assert f.severity == "error"
+
+
+def test_clock_allowed_outside_sim_scope(tree):
+    root = tree({
+        "src/repro/graph/gen.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+    })
+    assert det(root) == []
+
+
+def test_perf_counter_allowed_in_sim_scope(tree):
+    root = tree({
+        "src/repro/memsim/telemetry.py": """\
+            import time
+
+            def tick():
+                return time.perf_counter()
+            """,
+    })
+    assert det(root) == []
+
+
+def test_import_alias_resolution(tree):
+    root = tree({
+        "src/repro/core/run.py": """\
+            from time import time as now
+
+            def stamp():
+                return now()
+            """,
+    })
+    assert len(det(root)) == 1
+
+
+def test_unseeded_default_rng_flagged_everywhere(tree):
+    root = tree({
+        "src/repro/graph/gen.py": """\
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """,
+    })
+    findings = det(root)
+    assert len(findings) == 1
+    assert "unseeded" in findings[0].message
+
+
+def test_seeded_default_rng_allowed_in_generators(tree):
+    root = tree({
+        "src/repro/graph/gen.py": """\
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """,
+    })
+    assert det(root) == []
+
+
+def test_seeded_rng_still_banned_in_sim_scope(tree):
+    root = tree({
+        "src/repro/memsim/noise.py": """\
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """,
+    })
+    findings = det(root)
+    assert len(findings) == 1
+    assert "workload generators" in findings[0].message
+
+
+def test_global_state_numpy_rng_flagged(tree):
+    root = tree({
+        "src/repro/graph/gen.py": """\
+            import numpy as np
+
+            def make(n):
+                return np.random.rand(n)
+            """,
+    })
+    findings = det(root)
+    assert len(findings) == 1
+    assert "global-state" in findings[0].message
+
+
+def test_set_iteration_flagged_only_in_sim_scope(tree):
+    root = tree({
+        "src/repro/memsim/walk.py": """\
+            def visit(items):
+                out = []
+                for x in set(items):
+                    out.append(x)
+                return out
+            """,
+        "src/repro/graph/walk.py": """\
+            def visit(items):
+                out = []
+                for x in set(items):
+                    out.append(x)
+                return out
+            """,
+    })
+    findings = det(root)
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/memsim/walk.py"
+    assert "PYTHONHASHSEED" in findings[0].message
+
+
+def test_sorted_set_iteration_allowed(tree):
+    root = tree({
+        "src/repro/memsim/walk.py": """\
+            def visit(items):
+                out = []
+                for x in sorted({i for i in items}):
+                    out.append(x)
+                return out
+            """,
+    })
+    assert det(root) == []

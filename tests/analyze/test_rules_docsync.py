@@ -1,0 +1,82 @@
+"""DOC001: flags, env vars and version constants match the docs."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+
+def doc(root):
+    result = run_battery(root, rules=["DOC001"])
+    return [f for f in result.findings if f.rule == "DOC001"]
+
+
+def test_bad_fixture_flags_all_four_drifts():
+    findings = doc(fixture_tree("bad_docsync"))
+    messages = "\n".join(f.message for f in findings)
+    assert "--mystery" in messages
+    assert "REPRO_SECRET" in messages
+    assert "TRACE_FORMAT_VERSION is 3" in messages
+    assert "READABLE_TRACE_VERSIONS is [1, 2, 3]" in messages
+    assert len(findings) == 4
+
+
+def test_documented_flag_and_env_var_are_clean(tree):
+    root = tree({
+        "src/repro/cli.py": """\
+            import argparse
+
+            CACHE_ENV = "REPRO_CACHE_DIR"
+
+            def build_parser():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--mystery", help="documented")
+                return parser
+            """,
+        "README.md": (
+            "# Readme\n\nUse `--mystery` and set `REPRO_CACHE_DIR`.\n"
+        ),
+    })
+    assert doc(root) == []
+
+
+def test_silent_when_checkout_ships_no_docs(tree):
+    root = tree({
+        "src/repro/cli.py": """\
+            import argparse
+
+            CACHE_ENV = "REPRO_SECRET"
+
+            def build_parser():
+                parser = argparse.ArgumentParser()
+                parser.add_argument("--mystery")
+                return parser
+            """,
+    })
+    assert doc(root) == []
+
+
+def test_matching_versions_are_clean(tree):
+    root = tree({
+        "src/repro/ligra/trace.py": """\
+            TRACE_FORMAT_VERSION = 2
+            READABLE_TRACE_VERSIONS = frozenset({1, 2})
+            """,
+        "docs/trace-format.md": (
+            "# Trace format\n\n"
+            "(`TRACE_FORMAT_VERSION`, currently 2).\n"
+            "Readers accept versions (currently {1, 2}).\n"
+        ),
+    })
+    assert doc(root) == []
+
+
+def test_schema_tag_must_appear_in_trace_doc(tree):
+    root = tree({
+        "src/repro/core/report.py": """\
+            MANIFEST_SCHEMA = "fixture/run-manifest/v9"
+            """,
+        "docs/trace-format.md": "# Trace format\n\nNo tags here.\n",
+    })
+    findings = doc(root)
+    assert len(findings) == 1
+    assert "fixture/run-manifest/v9" in findings[0].message

@@ -1,0 +1,144 @@
+"""PRT001: backend modules implement and register the full surface."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+GOOD_BASE = """\
+    class HierarchyBackend:
+        def __init__(self, config):
+            self.config = config
+
+        def route(self, ctx, trace, prepass):
+            raise NotImplementedError
+
+        def account(self, ctx, trace, prepass, routes):
+            raise NotImplementedError
+    """
+
+GOOD_HUB = """\
+    from repro.memsim.backends.fast import FastBackend
+
+    __all__ = ["FastBackend"]
+    """
+
+
+def prt(root):
+    result = run_battery(root, rules=["PRT001"])
+    return [f for f in result.findings if f.rule == "PRT001"]
+
+
+def test_bad_fixture_flags_every_violation():
+    findings = prt(fixture_tree("bad_protocol"))
+    messages = "\n".join(f.message for f in findings)
+    assert "not decorated with @register_backend" in messages
+    assert "did you mean 'account'" in messages
+    assert "never calls super().__init__" in messages
+    assert "not re-exported" in messages
+    assert len(findings) == 4
+
+
+def test_well_formed_backend_is_clean(tree):
+    root = tree({
+        "src/repro/memsim/backends/base.py": GOOD_BASE,
+        "src/repro/memsim/backends/__init__.py": GOOD_HUB,
+        "src/repro/memsim/backends/fast.py": """\
+            from repro.memsim.backends.base import HierarchyBackend
+            from repro.memsim.backends.registry import register_backend
+
+            @register_backend("fast")
+            class FastBackend(HierarchyBackend):
+                def __init__(self, config):
+                    super().__init__(config)
+                    self.extra = 0
+
+                def route(self, ctx, trace, prepass):
+                    return None
+
+                def helper_stage(self, ctx):
+                    return self.extra
+            """,
+        "src/repro/memsim/backends/registry.py": """\
+            def register_backend(name):
+                def deco(cls):
+                    return cls
+                return deco
+            """,
+    })
+    assert prt(root) == []
+
+
+def test_hook_signature_mismatch_flagged(tree):
+    root = tree({
+        "src/repro/memsim/backends/base.py": GOOD_BASE,
+        "src/repro/memsim/backends/__init__.py": GOOD_HUB,
+        "src/repro/memsim/backends/fast.py": """\
+            from repro.memsim.backends.base import HierarchyBackend
+            from repro.memsim.backends.registry import register_backend
+
+            @register_backend("fast")
+            class FastBackend(HierarchyBackend):
+                def route(self, ctx, trace):
+                    return None
+            """,
+        "src/repro/memsim/backends/registry.py": """\
+            def register_backend(name):
+                def deco(cls):
+                    return cls
+                return deco
+            """,
+    })
+    findings = prt(root)
+    assert len(findings) == 1
+    assert "does not match the HierarchyBackend hook" in findings[0].message
+
+
+def test_duplicate_backend_name_flagged(tree):
+    root = tree({
+        "src/repro/memsim/backends/base.py": GOOD_BASE,
+        "src/repro/memsim/backends/__init__.py": """\
+            from repro.memsim.backends.one import OneBackend
+            from repro.memsim.backends.two import TwoBackend
+
+            __all__ = ["OneBackend", "TwoBackend"]
+            """,
+        "src/repro/memsim/backends/one.py": """\
+            from repro.memsim.backends.base import HierarchyBackend
+            from repro.memsim.backends.registry import register_backend
+
+            @register_backend("same")
+            class OneBackend(HierarchyBackend):
+                pass
+            """,
+        "src/repro/memsim/backends/two.py": """\
+            from repro.memsim.backends.base import HierarchyBackend
+            from repro.memsim.backends.registry import register_backend
+
+            @register_backend("same")
+            class TwoBackend(HierarchyBackend):
+                pass
+            """,
+        "src/repro/memsim/backends/registry.py": """\
+            def register_backend(name):
+                def deco(cls):
+                    return cls
+                return deco
+            """,
+    })
+    findings = prt(root)
+    assert len(findings) == 1
+    assert "already registered" in findings[0].message
+
+
+def test_module_without_backend_class_flagged(tree):
+    root = tree({
+        "src/repro/memsim/backends/base.py": GOOD_BASE,
+        "src/repro/memsim/backends/__init__.py": "",
+        "src/repro/memsim/backends/helpers.py": """\
+            def shared_stage(ctx):
+                return ctx
+            """,
+    })
+    findings = prt(root)
+    assert len(findings) == 1
+    assert "no HierarchyBackend subclass" in findings[0].message

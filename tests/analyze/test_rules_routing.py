@@ -1,0 +1,122 @@
+"""RTE001: every route code emitted, accounted, or declared."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+
+def rte(root):
+    result = run_battery(root, rules=["RTE001"])
+    return [f for f in result.findings if f.rule == "RTE001"]
+
+
+def test_bad_fixture_flags_dangling_and_dead_routes():
+    findings = rte(fixture_tree("bad_routing"))
+    assert len(findings) == 2
+    by_path = {f.path: f for f in findings}
+    emit = by_path["src/repro/memsim/backends/hw.py"]
+    assert "emits ROUTE_SP but never accounts it" in emit.message
+    dead = by_path["src/repro/memsim/routes.py"]
+    assert "ROUTE_GHOST" in dead.message
+
+
+def test_accounted_emission_is_clean(tree):
+    root = tree({
+        "src/repro/memsim/routes.py": """\
+            ROUTE_CACHE = 0
+            ROUTE_SP = 1
+            """,
+        "src/repro/memsim/replay.py": """\
+            from repro.memsim.routes import ROUTE_CACHE
+
+            def replay(routes):
+                return routes == ROUTE_CACHE
+            """,
+        "src/repro/memsim/backends/__init__.py": "",
+        "src/repro/memsim/backends/hw.py": """\
+            from repro.memsim.routes import ROUTE_SP
+
+            def route(routes, mask):
+                routes[mask] = ROUTE_SP
+                return routes
+
+            def account(routes, stats):
+                stats.sp += int((routes == ROUTE_SP).sum())
+            """,
+    })
+    assert rte(root) == []
+
+
+def test_base_accounting_covers_all_backends(tree):
+    root = tree({
+        "src/repro/memsim/routes.py": """\
+            ROUTE_SP = 1
+            """,
+        "src/repro/memsim/backends/__init__.py": "",
+        "src/repro/memsim/backends/base.py": """\
+            from repro.memsim.routes import ROUTE_SP
+
+            def account(routes, stats):
+                stats.sp += int((routes == ROUTE_SP).sum())
+            """,
+        "src/repro/memsim/backends/hw.py": """\
+            from repro.memsim.routes import ROUTE_SP
+
+            def route(routes, mask):
+                routes[mask] = ROUTE_SP
+                return routes
+            """,
+    })
+    assert rte(root) == []
+
+
+def test_route_time_declaration_escape(tree):
+    root = tree({
+        "src/repro/memsim/routes.py": """\
+            ROUTE_HIT = 1
+            """,
+        "src/repro/memsim/backends/__init__.py": "",
+        "src/repro/memsim/backends/hw.py": """\
+            from repro.memsim.routes import ROUTE_HIT
+
+            ROUTES_ACCOUNTED_AT_ROUTE_TIME = ("ROUTE_HIT",)
+
+            def route(routes, mask):
+                routes[mask] = ROUTE_HIT
+                return routes
+            """,
+    })
+    assert rte(root) == []
+
+
+def test_route_time_declaration_must_name_real_routes(tree):
+    root = tree({
+        "src/repro/memsim/routes.py": """\
+            ROUTE_HIT = 1
+            """,
+        "src/repro/memsim/backends/__init__.py": "",
+        "src/repro/memsim/backends/hw.py": """\
+            from repro.memsim.routes import ROUTE_HIT
+
+            ROUTES_ACCOUNTED_AT_ROUTE_TIME = ("ROUTE_HIT", "ROUTE_TYPO")
+
+            def route(routes, mask):
+                routes[mask] = ROUTE_HIT
+                return routes
+            """,
+    })
+    findings = rte(root)
+    assert len(findings) == 1
+    assert "ROUTE_TYPO" in findings[0].message
+
+
+def test_declared_unused_escape(tree):
+    root = tree({
+        "src/repro/memsim/routes.py": """\
+            ROUTE_FUTURE = 7
+
+            ROUTES_DECLARED_UNUSED = ("ROUTE_FUTURE",)
+            """,
+        "src/repro/memsim/backends/__init__.py": "",
+    })
+    assert rte(root) == []

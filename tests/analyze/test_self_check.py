@@ -1,0 +1,99 @@
+"""The battery over this checkout: clean now, loud when tampered with.
+
+The tamper tests copy ``src/repro`` into a scratch checkout, break one
+invariant the way a careless edit would, and assert the battery's exit
+code flips to 1 with the right rule — proving the gate actually guards
+the invariants it claims to.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import REPO_ROOT
+
+
+def test_battery_is_clean_on_this_checkout():
+    result = run_battery(REPO_ROOT)
+    assert result.findings == [], "\n".join(
+        f.format() for f in result.findings
+    )
+    assert result.ok
+    assert result.exit_code() == 0
+
+
+def test_battery_rules_cover_the_advertised_families():
+    result = run_battery(REPO_ROOT)
+    ids = {info.id for info in result.rules}
+    assert {"DET001", "CNT001", "RTE001", "PRT001", "DOC001",
+            "SUP001"} <= ids
+
+
+@pytest.fixture
+def scratch_src(tmp_path):
+    """A copy of this repo's src tree (no docs → doc rules stay quiet)."""
+    shutil.copytree(
+        REPO_ROOT / "src" / "repro",
+        tmp_path / "src" / "repro",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    # Sanity: the untampered copy passes, so any finding below is
+    # caused by the tamper itself.
+    assert run_battery(tmp_path).ok
+    return tmp_path
+
+
+def _rules_fired(root: Path):
+    result = run_battery(root)
+    assert result.exit_code() == 1
+    return {f.rule for f in result.findings}
+
+
+def test_deleting_a_reported_counter_trips_cnt001(scratch_src):
+    stats = scratch_src / "src/repro/memsim/stats.py"
+    text = stats.read_text()
+    needle = '            "prefetch_hits": self.prefetch_hits,\n'
+    assert needle in text
+    stats.write_text(text.replace(needle, ""))
+    assert "CNT001" in _rules_fired(scratch_src)
+
+
+def test_unregistering_a_backend_trips_prt001(scratch_src):
+    omega = scratch_src / "src/repro/memsim/backends/omega.py"
+    text = omega.read_text()
+    needle = '@register_backend("omega")\n'
+    assert needle in text
+    omega.write_text(text.replace(needle, ""))
+    assert "PRT001" in _rules_fired(scratch_src)
+
+
+def test_wall_clock_in_replay_trips_det001(scratch_src):
+    replay = scratch_src / "src/repro/memsim/replay.py"
+    with replay.open("a") as fh:
+        fh.write(
+            "\n\ndef _leak_host_time():\n"
+            "    import time\n"
+            "    return time.time()\n"
+        )
+    assert "DET001" in _rules_fired(scratch_src)
+
+
+def test_dropping_the_route_declaration_trips_rte001(scratch_src):
+    omega = scratch_src / "src/repro/memsim/backends/omega.py"
+    text = omega.read_text()
+    needle = 'ROUTES_ACCOUNTED_AT_ROUTE_TIME = ("ROUTE_SRCBUF_HIT",)\n'
+    assert needle in text
+    omega.write_text(text.replace(needle, ""))
+    assert "RTE001" in _rules_fired(scratch_src)
+
+
+def test_snapshotting_a_ghost_counter_trips_cnt001(scratch_src):
+    timeline = scratch_src / "src/repro/obs/timeline.py"
+    text = timeline.read_text()
+    needle = '    "l1_hits",\n'
+    assert needle in text
+    timeline.write_text(text.replace(needle, '    "l1_hitz",\n'))
+    assert "CNT001" in _rules_fired(scratch_src)
