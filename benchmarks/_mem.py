@@ -1,0 +1,70 @@
+"""Peak-RSS measurement for the benchmark harness.
+
+``ru_maxrss`` is a per-process high-water mark: once a process has
+held a whole trace, its peak can never come back down, so in-core and
+streamed footprints cannot be compared inside one process.
+:func:`run_measured` therefore runs each measurement in a fresh
+``spawn`` child (never ``fork`` — a forked child inherits the parent's
+peak) and ships back both the worker's return value and its peak RSS.
+
+No new dependencies: the measurement is ``resource.getrusage`` and the
+worker transport is a ``multiprocessing`` pipe. Workers must be
+module-level (picklable by reference) for ``spawn`` to import them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Any, Callable, Tuple
+
+__all__ = ["peak_rss_bytes", "run_measured"]
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes."""
+    import resource
+
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+def _entry(conn, fn: Callable, args: tuple, kwargs: dict) -> None:
+    """Child-side shim: run the worker, report result + peak RSS."""
+    try:
+        result = fn(*args, **kwargs)
+    except BaseException as exc:  # ship the failure to the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}",
+                   peak_rss_bytes()))
+    else:
+        conn.send(("ok", result, peak_rss_bytes()))
+    finally:
+        conn.close()
+
+
+def run_measured(fn: Callable, *args, **kwargs) -> Tuple[Any, int]:
+    """Run ``fn(*args, **kwargs)`` in a fresh process.
+
+    Returns ``(result, peak_rss_bytes)`` for that process alone.
+    Raises ``RuntimeError`` if the worker raised or died.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_entry, args=(child, fn, args, kwargs))
+    proc.start()
+    child.close()
+    try:
+        if not parent.poll(timeout=1800):
+            raise RuntimeError("measured worker timed out")
+        status, payload, rss = parent.recv()
+    except EOFError:
+        raise RuntimeError(
+            f"measured worker died (exit code {proc.exitcode})"
+        )
+    finally:
+        proc.join()
+        parent.close()
+    if status != "ok":
+        raise RuntimeError(f"measured worker failed: {payload}")
+    return payload, rss

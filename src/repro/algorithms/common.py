@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.ligra.framework import LigraEngine
-from repro.ligra.trace import Trace
+from repro.ligra.trace import Trace, TraceBuilder
 
 __all__ = ["AlgorithmResult", "make_engine", "require_undirected", "default_source"]
 
@@ -64,7 +64,7 @@ def make_engine(
     graph: CSRGraph,
     num_cores: int,
     chunk_size: Optional[int],
-    trace: bool,
+    trace: Union[bool, TraceBuilder],
 ) -> LigraEngine:
     """Construct the engine all algorithm runners share."""
     return LigraEngine(

@@ -10,7 +10,10 @@ runner so the benchmark harness can sweep algorithms by name.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ligra.trace import TraceBuilder
 
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
@@ -153,10 +156,14 @@ def run_algorithm(
     graph: CSRGraph,
     num_cores: int = 16,
     chunk_size: Optional[int] = None,
-    trace: bool = True,
+    trace: Union[bool, "TraceBuilder"] = True,
     **kwargs,
 ) -> AlgorithmResult:
     """Run a registered algorithm by name with uniform arguments.
+
+    ``trace`` may be a :class:`~repro.ligra.trace.TraceBuilder`
+    instance (e.g. a spooling builder) to append into instead of a
+    bool.
 
     Graph requirements (symmetry, weights) are checked up front with a
     clear error instead of failing mid-run.

@@ -107,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
              " (default: auto-size to ~64 windows when --metrics-out"
              " is given)",
     )
+    run.add_argument(
+        "--segment-events",
+        metavar="N",
+        type=int,
+        default=None,
+        help="stream the run out-of-core in N-event segments (bounded"
+             " resident memory, bit-identical counters; default: the"
+             " REPRO_SEGMENT_EVENTS environment variable, else"
+             " whole-trace in-core)",
+    )
 
     _cache_args(run)
 
@@ -271,10 +281,14 @@ def _cmd_run(args) -> int:
         dataset=spec.name, backend=backend, manifest_path=args.manifest,
         trace_path=args.trace_out, timeline_path=args.metrics_out,
         obs_window=args.obs_window, cache=_resolve_cache(args),
+        segment_events=args.segment_events,
     )
 
     for key, value in report.summary().items():
         print(f"{key}: {value}")
+    if report.streamed:
+        print(f"streamed: {report.num_segments} segments"
+              f" x {report.segment_events} events")
     if report.trace_cache and report.trace_cache.get("enabled"):
         state = "hit" if report.trace_cache.get("hit") else "miss"
         print(f"trace_cache: {state}")

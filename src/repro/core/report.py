@@ -21,8 +21,10 @@ __all__ = ["SimReport", "Comparison", "MANIFEST_SCHEMA"]
 #: (windowed-timeline summary percentiles; ``None`` when the run was
 #: not sampled). v3 added ``workload.trace_bytes`` and the
 #: ``trace_cache`` block (whether the persistent trace store was
-#: consulted and whether it hit).
-MANIFEST_SCHEMA = "omega-repro/run-manifest/v3"
+#: consulted and whether it hit). v4 added the ``segmentation``
+#: block (out-of-core streaming provenance) and
+#: ``replay.peak_rss_bytes`` (host RSS high-water mark).
+MANIFEST_SCHEMA = "omega-repro/run-manifest/v4"
 
 
 @dataclass
@@ -54,6 +56,17 @@ class SimReport:
     #: Trace-store outcome for this run (``enabled``/``hit``/``key``),
     #: or ``None`` when the driver predates the store.
     trace_cache: Optional[Dict] = None
+    #: Resolved segment size when the trace was streamed (``None``
+    #: for whole-trace in-core replay).
+    segment_events: Optional[int] = None
+    #: Number of segments the replay consumed (1 for in-core).
+    num_segments: int = 1
+    #: Whether the replay consumed a segment stream instead of a
+    #: resident trace.
+    streamed: bool = False
+    #: Host peak RSS (bytes) observed after the replay stage, or
+    #: ``None`` when :mod:`resource` is unavailable.
+    peak_rss_bytes: Optional[int] = None
 
     @property
     def cycles(self) -> float:
@@ -164,6 +177,12 @@ class SimReport:
                     events / self.replay_seconds
                     if self.replay_seconds > 0 else 0.0
                 ),
+                "peak_rss_bytes": self.peak_rss_bytes,
+            },
+            "segmentation": {
+                "streamed": self.streamed,
+                "segment_events": self.segment_events,
+                "num_segments": self.num_segments,
             },
             "timing": {
                 "total_cycles": self.timing.total_cycles,

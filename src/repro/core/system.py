@@ -34,9 +34,12 @@ saving).
 from __future__ import annotations
 
 import logging
+import os
+import sys
+import tempfile
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SimConfig
 from repro.errors import SimulationError
@@ -46,6 +49,7 @@ from repro.algorithms.common import AlgorithmResult, default_source
 from repro.algorithms.registry import run_algorithm
 from repro.core.offload import microcode_for_algorithm
 from repro.core.report import Comparison, SimReport
+from repro.ligra.segments import SegmentedTrace, SpoolingTraceBuilder
 from repro.ligra.trace import Trace
 from repro.memsim.core_model import compute_timing
 from repro.memsim.energy import EnergyModel
@@ -82,6 +86,11 @@ _LOG = logging.getLogger("repro.core.system")
 
 #: Default OpenMP-schedule chunk (and matching scratchpad-mapping chunk).
 DEFAULT_CHUNK_SIZE = 32
+
+#: Environment fallback for ``run_system(..., segment_events=...)``:
+#: a positive integer turns on out-of-core streaming for every run in
+#: the process (the CLI flag ``--segment-events`` still wins).
+ENV_SEGMENT_EVENTS = "REPRO_SEGMENT_EVENTS"
 
 #: Report labels for backends whose name differs from the config name.
 _BACKEND_LABELS = {
@@ -135,9 +144,13 @@ class _TraceBundle:
     Exactly this bundle is what the trace store persists: the columnar
     trace in the ``.npz`` plus the remaining fields in the JSON sidecar
     — so a warm hit can skip reorder and algorithm execution entirely.
+
+    Exactly one of ``trace`` (whole-trace in-core) and ``segments``
+    (out-of-core streaming: a bounded-memory
+    :class:`~repro.ligra.segments.SegmentedTrace` handle) is set.
     """
 
-    trace: Trace
+    trace: Optional[Trace]
     #: vtxProp (start, end) address ranges — the spatially-random
     #: regions the hybrid DRAM page policy serves close-page
     #: (Section IX direction 3).
@@ -148,6 +161,22 @@ class _TraceBundle:
     cache_enabled: bool = False
     cache_hit: bool = False
     cache_key: Optional[str] = None
+    segments: Optional[SegmentedTrace] = None
+    #: Resolved streaming segment size (``None`` for in-core runs).
+    segment_events: Optional[int] = None
+    #: Spool file this bundle owns and must delete on cleanup (only
+    #: when the unlink-while-open trick was unavailable).
+    spool_path: Optional[str] = None
+
+    @property
+    def num_events(self) -> int:
+        source = self.trace if self.trace is not None else self.segments
+        return source.num_events
+
+    @property
+    def nbytes(self) -> int:
+        source = self.trace if self.trace is not None else self.segments
+        return source.nbytes
 
     def cache_info(self) -> Dict:
         """Manifest ``trace_cache`` block."""
@@ -156,6 +185,68 @@ class _TraceBundle:
             "hit": self.cache_hit,
             "key": self.cache_key,
         }
+
+    def cleanup(self) -> None:
+        """Release the streaming handle and any owned spool file."""
+        if self.segments is not None:
+            self.segments.close()
+        if self.spool_path is not None:
+            try:
+                os.unlink(self.spool_path)
+            except OSError:
+                pass
+            self.spool_path = None
+
+
+def _resolve_segment_events(segment_events: Optional[int]) -> Optional[int]:
+    """Fold the explicit argument with ``REPRO_SEGMENT_EVENTS``.
+
+    Returns a positive segment size, or ``None`` for in-core replay
+    (the default; 0 and negative values also mean off).
+    """
+    if segment_events is None:
+        env = os.environ.get(ENV_SEGMENT_EVENTS)
+        if env:
+            try:
+                segment_events = int(env)
+            except ValueError:
+                raise SimulationError(
+                    f"{ENV_SEGMENT_EVENTS}={env!r} is not an integer"
+                )
+    if segment_events is None or int(segment_events) <= 0:
+        return None
+    return int(segment_events)
+
+
+def _peak_rss_bytes() -> Optional[int]:
+    """Process peak RSS in bytes, or ``None`` when unavailable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+def _make_spool(store: Optional[TraceStore], key: Optional[str]) -> str:
+    """Create the spool file a streaming generation writes into.
+
+    With a store destination the spool lives *inside the store root*
+    (dot-prefixed, ``.tmp``-suffixed) so :meth:`TraceStore.adopt` is a
+    same-filesystem rename and a crashed run's leftover matches the
+    store's orphan-collection pattern. Without one it goes to the
+    system temp directory.
+    """
+    if store is not None and key is not None:
+        store.root.mkdir(parents=True, exist_ok=True)
+        fd, spool = tempfile.mkstemp(
+            dir=store.root, prefix=f".{key}.", suffix=".tmp.npz"
+        )
+    else:
+        fd, spool = tempfile.mkstemp(prefix="repro-spool.", suffix=".npz")
+    os.close(fd)
+    return spool
 
 
 def _generate_bundle(
@@ -166,8 +257,22 @@ def _generate_bundle(
     reorder: bool,
     tracer,
     alg_kwargs: Dict,
+    segment_events: Optional[int] = None,
+    store: Optional[TraceStore] = None,
+    key: Optional[str] = None,
 ) -> _TraceBundle:
-    """Cold path: reorder (optionally) and execute the algorithm."""
+    """Cold path: reorder (optionally) and execute the algorithm.
+
+    With ``segment_events`` set the engine appends into a
+    :class:`~repro.ligra.segments.SpoolingTraceBuilder`, so the trace
+    is never whole in memory: completed barrier spans stream to a
+    segmented archive on disk and the bundle carries the open
+    :class:`~repro.ligra.segments.SegmentedTrace` handle instead of an
+    in-core trace. The spool file is created by :func:`_make_spool`;
+    ownership of it stays on ``bundle.spool_path`` until the caller
+    adopts it into the store or it is unlinked here (POSIX keeps the
+    open archive handle readable after the unlink).
+    """
     work_graph = graph
     if reorder:
         with tracer.span("reorder", cat="run", key="in"):
@@ -176,20 +281,47 @@ def _generate_bundle(
             alg_kwargs = dict(alg_kwargs)
             alg_kwargs["source"] = int(new_ids[alg_kwargs["source"]])
 
-    with tracer.span("trace_generation", cat="run") as gen_span:
-        result: AlgorithmResult = run_algorithm(
-            algorithm,
-            work_graph,
-            num_cores=num_cores,
-            chunk_size=chunk_size,
-            trace=True,
-            **alg_kwargs,
-        )
-        trace = result.trace
-        gen_span.annotate(events=trace.num_events, trace_bytes=trace.nbytes)
+    builder: Union[bool, SpoolingTraceBuilder] = True
+    spool = None
+    if segment_events is not None:
+        spool = _make_spool(store, key)
+        builder = SpoolingTraceBuilder(spool, segment_events=segment_events)
+    try:
+        with tracer.span("trace_generation", cat="run",
+                         streamed=spool is not None) as gen_span:
+            result: AlgorithmResult = run_algorithm(
+                algorithm,
+                work_graph,
+                num_cores=num_cores,
+                chunk_size=chunk_size,
+                trace=builder,
+                **alg_kwargs,
+            )
+            trace = None
+            segments = None
+            if isinstance(builder, SpoolingTraceBuilder):
+                segments = builder.finalize(
+                    regions=tuple(result.engine.space.regions)
+                )
+            else:
+                trace = result.trace
+            source = trace if trace is not None else segments
+            gen_span.annotate(
+                events=source.num_events, trace_bytes=source.nbytes
+            )
+    except Exception:
+        if isinstance(builder, SpoolingTraceBuilder):
+            builder.abort()
+        if spool is not None:
+            try:
+                os.unlink(spool)
+            except OSError:
+                pass
+        raise
     _LOG.info(
-        "trace generated: %d events, %.2f MiB",
-        trace.num_events, trace.nbytes / (1024 * 1024),
+        "trace generated%s: %d events, %.2f MiB",
+        " (streamed)" if segments is not None else "",
+        source.num_events, source.nbytes / (1024 * 1024),
     )
     vtx_ranges = [
         (p.start_addr, p.region.end) for p in result.engine.vtx_props
@@ -200,7 +332,36 @@ def _generate_bundle(
         bytes_per_vertex=result.engine.vtxprop_bytes_per_vertex(),
         num_vertices=work_graph.num_vertices,
         num_edges=work_graph.num_edges,
+        segments=segments,
+        segment_events=segment_events,
+        spool_path=spool,
     )
+
+
+def _bundle_meta(
+    graph: CSRGraph,
+    algorithm: str,
+    num_cores: int,
+    chunk_size: Optional[int],
+    reorder: bool,
+    bundle: _TraceBundle,
+) -> Dict:
+    """The JSON sidecar a stored trace carries next to its archive."""
+    return {
+        "algorithm": algorithm,
+        "graph_fingerprint": graph.fingerprint(),
+        "num_cores": int(num_cores),
+        "chunk_size": (
+            None if chunk_size is None else int(chunk_size)
+        ),
+        "reorder": _REORDER_RECIPE if reorder else None,
+        "num_events": bundle.num_events,
+        "trace_nbytes": bundle.nbytes,
+        "vtx_ranges": [list(r) for r in bundle.vtx_ranges],
+        "bytes_per_vertex": bundle.bytes_per_vertex,
+        "num_vertices": bundle.num_vertices,
+        "num_edges": bundle.num_edges,
+    }
 
 
 def _prepare_trace(
@@ -212,8 +373,18 @@ def _prepare_trace(
     store: Optional[TraceStore],
     tracer,
     alg_kwargs: Dict,
+    segment_events: Optional[int] = None,
 ) -> _TraceBundle:
-    """Load the trace bundle from the store, or generate and cache it."""
+    """Load the trace bundle from the store, or generate and cache it.
+
+    With ``segment_events`` set every path stays out-of-core: a warm
+    hit opens the stored segmented archive for streaming
+    (:meth:`TraceStore.open_segments`) instead of rehydrating it, and
+    a cold run spools through
+    :class:`~repro.ligra.segments.SpoolingTraceBuilder` and donates the
+    finished archive to the store via :meth:`TraceStore.adopt` — the
+    whole trace is never resident.
+    """
     key = None
     if store is not None:
         key = trace_key(
@@ -229,15 +400,20 @@ def _prepare_trace(
                 "trace store: kwargs not canonicalizable; bypassing cache"
             )
     if key is not None:
-        with tracer.span("trace_store.load", cat="run", key=key):
-            entry = store.load(key)
+        with tracer.span("trace_store.load", cat="run", key=key,
+                         streamed=segment_events is not None):
+            entry = (
+                store.open_segments(key) if segment_events is not None
+                else store.load(key)
+            )
         if entry is not None:
-            trace, meta = entry
+            source, meta = entry
             _LOG.info(
-                "trace store hit: %s (%d events)", key, trace.num_events
+                "trace store hit: %s (%d events%s)", key, source.num_events,
+                ", streamed" if segment_events is not None else "",
             )
             return _TraceBundle(
-                trace=trace,
+                trace=None if segment_events is not None else source,
                 vtx_ranges=[
                     (int(lo), int(hi)) for lo, hi in meta["vtx_ranges"]
                 ],
@@ -247,34 +423,40 @@ def _prepare_trace(
                 cache_enabled=True,
                 cache_hit=True,
                 cache_key=key,
+                segments=source if segment_events is not None else None,
+                segment_events=segment_events,
             )
         _LOG.info("trace store miss: %s", key)
     bundle = _generate_bundle(
-        graph, algorithm, num_cores, chunk_size, reorder, tracer, alg_kwargs
+        graph, algorithm, num_cores, chunk_size, reorder, tracer,
+        alg_kwargs, segment_events=segment_events, store=store, key=key,
     )
     if key is not None:
-        with tracer.span("trace_store.store", cat="run", key=key):
-            store.store(
-                key,
-                bundle.trace,
-                {
-                    "algorithm": algorithm,
-                    "graph_fingerprint": graph.fingerprint(),
-                    "num_cores": int(num_cores),
-                    "chunk_size": (
-                        None if chunk_size is None else int(chunk_size)
-                    ),
-                    "reorder": _REORDER_RECIPE if reorder else None,
-                    "num_events": bundle.trace.num_events,
-                    "trace_nbytes": bundle.trace.nbytes,
-                    "vtx_ranges": [list(r) for r in bundle.vtx_ranges],
-                    "bytes_per_vertex": bundle.bytes_per_vertex,
-                    "num_vertices": bundle.num_vertices,
-                    "num_edges": bundle.num_edges,
-                },
-            )
+        meta = _bundle_meta(
+            graph, algorithm, num_cores, chunk_size, reorder, bundle
+        )
+        with tracer.span("trace_store.store", cat="run", key=key,
+                         streamed=bundle.segments is not None):
+            if bundle.segments is not None:
+                # The archive is already on disk next to the store:
+                # rename it into place. The bundle's open handle keeps
+                # reading the same inode after the rename.
+                store.adopt(key, bundle.spool_path, meta)
+                bundle.spool_path = None
+            else:
+                store.store(key, bundle.trace, meta)
         bundle.cache_enabled = True
         bundle.cache_key = key
+    elif bundle.spool_path is not None:
+        # No store destination: drop the directory entry now and keep
+        # streaming from the open handle (the inode lives until the
+        # bundle's cleanup closes it).
+        try:
+            os.unlink(bundle.spool_path)
+        except OSError:  # pragma: no cover - non-POSIX semantics
+            pass
+        else:
+            bundle.spool_path = None
     return bundle
 
 
@@ -343,7 +525,10 @@ def _replay_bundle(
             hierarchy = backend_cls(config)
 
     replay_start = time.perf_counter()
-    output = hierarchy.replay(bundle.trace, sampler=sampler)
+    if bundle.segments is not None:
+        output = hierarchy.replay_segments(bundle.segments, sampler=sampler)
+    else:
+        output = hierarchy.replay(bundle.trace, sampler=sampler)
     replay_seconds = time.perf_counter() - replay_start
     with tracer.span("timing_energy", cat="run"):
         timing = compute_timing(output, config)
@@ -364,11 +549,15 @@ def _replay_bundle(
         hot_fraction=hot_capacity / n if n else 0.0,
         num_vertices=n,
         num_edges=bundle.num_edges,
-        trace_events=bundle.trace.num_events,
-        trace_bytes=bundle.trace.nbytes,
+        trace_events=bundle.num_events,
+        trace_bytes=bundle.nbytes,
         backend=backend_name,
         replay_seconds=replay_seconds,
         trace_cache=bundle.cache_info(),
+        segment_events=bundle.segment_events,
+        num_segments=output.num_segments,
+        streamed=bundle.segments is not None,
+        peak_rss_bytes=_peak_rss_bytes(),
     )
     _LOG.info(
         "run complete: %.0f cycles, bottleneck=%s, replay %.3fs",
@@ -400,6 +589,7 @@ def run_system(
     timeline_path=None,
     obs_window: Optional[int] = None,
     cache=None,
+    segment_events: Optional[int] = None,
     **alg_kwargs,
 ) -> SimReport:
     """Run one algorithm on one graph through one system configuration.
@@ -464,6 +654,16 @@ def run_system(
         selects a store explicitly. A warm hit skips reorder and
         algorithm execution and yields bit-identical simulated
         counters.
+    segment_events:
+        Out-of-core streaming segment size, in trace events. When set
+        (or when the ``REPRO_SEGMENT_EVENTS`` environment variable
+        holds a positive integer) the whole pipeline runs with bounded
+        resident memory: generation spools completed barrier spans to
+        a segmented archive, a warm store hit streams segments without
+        rehydrating the trace, and replay consumes one segment at a
+        time. Simulated counters are bit-identical to the in-core run;
+        ``None`` or a non-positive value keeps the default whole-trace
+        path.
     alg_kwargs:
         Extra arguments for the algorithm runner (source vertex, etc.).
     """
@@ -475,6 +675,7 @@ def run_system(
         reorder = _REORDER_DEFAULT.get(backend_name, config.use_scratchpad)
     _pin_source(graph, algorithm, alg_kwargs)
     store = resolve_store(cache)
+    segment_events = _resolve_segment_events(segment_events)
 
     # Observability setup: reuse an installed tracer, or spin up a
     # private one when a trace file was requested; sample the replay
@@ -496,12 +697,16 @@ def run_system(
     ):
         bundle = _prepare_trace(
             graph, algorithm, config.core.num_cores, chunk_size, reorder,
-            store, tracer, alg_kwargs,
+            store, tracer, alg_kwargs, segment_events=segment_events,
         )
-        report = _replay_bundle(
-            bundle, algorithm, config, backend_name, backend_cls, dataset,
-            chunk_size, sp_chunk_size, energy_model, pim, sampler, tracer,
-        )
+        try:
+            report = _replay_bundle(
+                bundle, algorithm, config, backend_name, backend_cls,
+                dataset, chunk_size, sp_chunk_size, energy_model, pim,
+                sampler, tracer,
+            )
+        finally:
+            bundle.cleanup()
 
     if sampler is not None:
         report.timeline = sampler.timeline()

@@ -24,7 +24,7 @@ frontiers. The engine
 from __future__ import annotations
 
 import logging
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -107,7 +107,9 @@ class LigraEngine:
         block partitioning (``ceil(n / num_cores)`` contiguous chunks),
         which is also what OMEGA's scratchpad mapping defaults to.
     trace:
-        Disable to run functionally with zero trace overhead.
+        Disable to run functionally with zero trace overhead, or pass
+        a :class:`~repro.ligra.trace.TraceBuilder` instance (e.g. a
+        spooling builder) for the engine to append into.
     """
 
     def __init__(
@@ -115,7 +117,7 @@ class LigraEngine:
         graph: CSRGraph,
         num_cores: int = 16,
         chunk_size: Optional[int] = None,
-        trace: bool = True,
+        trace: Union[bool, TraceBuilder] = True,
     ) -> None:
         if num_cores <= 0:
             raise TraceError(f"num_cores must be > 0, got {num_cores}")
@@ -125,7 +127,10 @@ class LigraEngine:
         self.num_cores = num_cores
         self.chunk_size = chunk_size
         self.space = AddressSpace()
-        self.trace_builder = TraceBuilder(enabled=trace)
+        self.trace_builder = (
+            trace if isinstance(trace, TraceBuilder)
+            else TraceBuilder(enabled=bool(trace))
+        )
         self.stats = EdgeMapStats()
 
         n, m = graph.num_vertices, graph.num_edges

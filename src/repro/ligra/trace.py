@@ -37,21 +37,28 @@ __all__ = [
     "CACHE_LINE_BYTES",
     "TRACE_FORMAT_VERSION",
     "READABLE_TRACE_VERSIONS",
+    "span_lockstep_perm",
 ]
 
 #: On-disk trace-archive format version. Version 1 added the
 #: ``format_version`` scalar and the optional address-space region
 #: metadata columns; version 2 marks archives produced by the layered
 #: replay engine (same columns — the bump reserves the number for the
-#: batch-kernel era so downstream caches can tell generations apart).
-#: Archives written before versioning (no ``format_version`` entry)
-#: are still accepted as legacy.
-TRACE_FORMAT_VERSION = 2
+#: batch-kernel era so downstream caches can tell generations apart);
+#: version 3 adds the *segmented* archive layout (a ``segment_bounds``
+#: index plus per-segment column blobs — see
+#: :mod:`repro.ligra.segments`), while monolithic v3 archives keep the
+#: v2 column set. Archives written before versioning (no
+#: ``format_version`` entry) are still accepted as legacy.
+TRACE_FORMAT_VERSION = 3
 
-#: Archive versions :meth:`Trace.load` reads. Version-1 archives are
-#: column-compatible with version 2, so both load; anything newer is
-#: rejected rather than misread.
-READABLE_TRACE_VERSIONS = frozenset({1, 2})
+#: Archive versions :meth:`Trace.load` reads. Versions 1 and 2 are
+#: column-compatible with monolithic version 3, so all three load;
+#: anything newer is rejected rather than misread. The loader
+#: dispatches on archive *layout* (the presence of a
+#: ``segment_bounds`` index marks a segmented archive), not on the
+#: version number alone.
+READABLE_TRACE_VERSIONS = frozenset({1, 2, 3})
 
 #: Machine word size (the paper's max vtxProp entry is 8 bytes).
 WORD_BYTES = 8
@@ -130,6 +137,27 @@ class AddressSpace:
             if region.contains(addr):
                 return region.access_class
         return AccessClass.NGRAPH
+
+
+def span_lockstep_perm(core: np.ndarray) -> np.ndarray:
+    """Permutation putting one barrier span into lockstep core order.
+
+    Event ``i`` of every core precedes event ``i+1`` of any core;
+    per-core order is preserved. Factored out of
+    :meth:`Trace.interleaved` so the streaming spool
+    (:mod:`repro.ligra.segments`) can apply the identical reorder one
+    span at a time — spans compose independently, so per-span
+    application reproduces the whole-trace interleave exactly.
+    """
+    m = len(core)
+    order = np.argsort(core, kind="stable")
+    sorted_c = core[order]
+    starts = np.flatnonzero(np.r_[True, sorted_c[1:] != sorted_c[:-1]])
+    sizes = np.diff(np.r_[starts, m])
+    group_start = np.repeat(starts, sizes)
+    rank = np.empty(m, dtype=np.int64)
+    rank[order] = np.arange(m) - group_start
+    return np.lexsort((core, rank))
 
 
 @dataclass
@@ -238,17 +266,7 @@ class Trace:
         for lo, hi in zip(bounds[:-1], bounds[1:]):
             if hi <= lo:
                 continue
-            seg_core = self.core[lo:hi]
-            order = np.argsort(seg_core, kind="stable")
-            sorted_c = seg_core[order]
-            starts = np.flatnonzero(
-                np.r_[True, sorted_c[1:] != sorted_c[:-1]]
-            )
-            sizes = np.diff(np.r_[starts, hi - lo])
-            group_start = np.repeat(starts, sizes)
-            rank = np.empty(hi - lo, dtype=np.int64)
-            rank[order] = np.arange(hi - lo) - group_start
-            perm[lo:hi] = lo + np.lexsort((seg_core, rank))
+            perm[lo:hi] = lo + span_lockstep_perm(self.core[lo:hi])
         result = Trace(
             core=self.core[perm],
             addr=self.addr[perm],
@@ -299,8 +317,17 @@ class Trace:
         np.savez_compressed(path, **columns)
 
     @classmethod
-    def load(cls, path) -> "Trace":
+    def load(cls, path, mmap_mode: Optional[str] = None) -> "Trace":
         """Load a trace previously written by :meth:`save`.
+
+        The loader dispatches on archive layout: monolithic archives
+        (v1/v2, and v3 written by :meth:`save`) read eagerly as
+        before; segmented v3 archives (a ``segment_bounds`` index
+        with per-segment blobs) are materialized through
+        :class:`repro.ligra.segments.SegmentedTrace` — pass
+        ``mmap_mode`` (e.g. ``"r"``) to memory-map their columns
+        instead of copying, and use ``SegmentedTrace.open`` directly
+        to stream without materializing at all.
 
         Raises :class:`~repro.errors.TraceError` when the archive is
         not a trace, or carries a ``format_version`` outside
@@ -308,14 +335,18 @@ class Trace:
         version entry load as before).
         """
         with np.load(path) as data:
-            required = {
-                "core", "addr", "size", "access_class", "flags", "vertex"
-            }
-            missing = required - set(data.files)
-            if missing:
-                raise TraceError(
-                    f"{path} is not a trace archive; missing {sorted(missing)}"
-                )
+            segmented = "segment_bounds" in data.files
+            if not segmented:
+                required = {
+                    "core", "addr", "size", "access_class", "flags",
+                    "vertex",
+                }
+                missing = required - set(data.files)
+                if missing:
+                    raise TraceError(
+                        f"{path} is not a trace archive;"
+                        f" missing {sorted(missing)}"
+                    )
             if "format_version" in data.files:
                 version = int(data["format_version"])
                 if version not in READABLE_TRACE_VERSIONS:
@@ -324,36 +355,48 @@ class Trace:
                         f"{path} has trace format version {version};"
                         f" this build reads versions {readable}"
                     )
-            regions: Tuple[Region, ...] = ()
-            if "region_base" in data.files:
-                regions = tuple(
-                    Region(
-                        name=str(name),
-                        base=int(base),
-                        size=int(size),
-                        access_class=AccessClass(int(klass)),
-                    )
-                    for name, base, size, klass in zip(
-                        data["region_name"],
-                        data["region_base"],
-                        data["region_size"],
-                        data["region_class"],
-                    )
+            if not segmented:
+                return cls._load_monolithic(data)
+        from repro.ligra.segments import SegmentedTrace
+
+        segtrace = SegmentedTrace.open(path, mmap_mode=mmap_mode)
+        try:
+            return segtrace.materialize()
+        finally:
+            segtrace.close()
+
+    @classmethod
+    def _load_monolithic(cls, data) -> "Trace":
+        regions: Tuple[Region, ...] = ()
+        if "region_base" in data.files:
+            regions = tuple(
+                Region(
+                    name=str(name),
+                    base=int(base),
+                    size=int(size),
+                    access_class=AccessClass(int(klass)),
                 )
-            return cls(
-                core=data["core"],
-                addr=data["addr"],
-                size=data["size"],
-                access_class=data["access_class"],
-                flags=data["flags"],
-                vertex=data["vertex"],
-                barriers=(
-                    data["barriers"]
-                    if "barriers" in data.files
-                    else np.zeros(0, dtype=np.int64)
-                ),
-                regions=regions,
+                for name, base, size, klass in zip(
+                    data["region_name"],
+                    data["region_base"],
+                    data["region_size"],
+                    data["region_class"],
+                )
             )
+        return cls(
+            core=data["core"],
+            addr=data["addr"],
+            size=data["size"],
+            access_class=data["access_class"],
+            flags=data["flags"],
+            vertex=data["vertex"],
+            barriers=(
+                data["barriers"]
+                if "barriers" in data.files
+                else np.zeros(0, dtype=np.int64)
+            ),
+            regions=regions,
+        )
 
     def concat(self, other: "Trace") -> "Trace":
         """Concatenate two traces (events of ``other`` follow ``self``)."""

@@ -9,6 +9,17 @@ loop), and traffic/occupancy counters are plain reductions.
 :class:`ReplayContext` is the mutable bag of per-replay state the
 engine shares with a backend: the model objects, the stats sink, and
 backend-supplied routing overrides.
+
+Segmented replay adds one wrinkle: float sums are association
+sensitive, so a per-core latency total accumulated segment by segment
+would drift (harmlessly, but measurably) from the whole-trace sum.
+:class:`LatencyLedger` removes the drift by construction — every
+latency family accumulates into its own per-core running sum with
+``np.add.at`` (an ordered, unbuffered element loop, so folding a
+stream in segments is the *same* binary-addition sequence as folding
+it whole), and :meth:`LatencyLedger.flush` rebuilds the stats totals
+in a fixed family order. Streamed and in-core replays therefore
+produce bit-identical ``core_mem_latency`` / ``core_serial_cycles``.
 """
 
 from __future__ import annotations
@@ -32,12 +43,75 @@ from repro.memsim.stats import MemStats
 
 __all__ = [
     "ReplayContext",
+    "LatencyLedger",
+    "MEM_FAMILIES",
+    "SERIAL_FAMILIES",
     "add_core_sums",
     "account_latencies",
     "account_sp_plain",
     "account_sp_rmw",
     "account_offload",
 ]
+
+#: Latency families that contribute to ``core_mem_latency``, in the
+#: (fixed) order :meth:`LatencyLedger.flush` sums them.
+MEM_FAMILIES = ("cache", "srcbuf", "sp_plain", "sp_rmw", "locked")
+
+#: Families that contribute to ``core_serial_cycles``, in flush order.
+SERIAL_FAMILIES = ("cache", "sp_plain", "sp_rmw", "locked", "offload", "pim")
+
+
+class LatencyLedger:
+    """Segment-order-invariant per-core latency accumulation.
+
+    One running per-core sum per latency family. Each family folds its
+    events with ``np.add.at`` (sequential element adds), so feeding the
+    same event stream in one batch or in many segments performs the
+    identical float-addition sequence; :meth:`flush` then *overwrites*
+    the stats totals as a fixed-family-order sum of the running sums.
+    The result: per-core latencies are bit-identical however the trace
+    was chunked — whole, windowed, or streamed segment by segment.
+    """
+
+    def __init__(self, ncores: int) -> None:
+        self.ncores = ncores
+        self.mem = {f: [0.0] * ncores for f in MEM_FAMILIES}
+        self.serial = {f: [0.0] * ncores for f in SERIAL_FAMILIES}
+
+    @staticmethod
+    def _fold(target: List[float], cores: np.ndarray,
+              weights: np.ndarray) -> None:
+        # np.add.at is unbuffered: element j adds into the sum left by
+        # element j-1, continuing exactly from the carried-in totals.
+        sums = np.asarray(target, dtype=np.float64)
+        np.add.at(sums, cores, weights)
+        target[:] = sums.tolist()
+
+    def add_mem(self, family: str, cores: np.ndarray,
+                weights: np.ndarray) -> None:
+        """Fold overlappable memory latency into ``family``'s sums."""
+        self._fold(self.mem[family], cores, weights)
+
+    def add_serial(self, family: str, cores: np.ndarray,
+                   weights: np.ndarray) -> None:
+        """Fold pipeline-serialized cycles into ``family``'s sums."""
+        self._fold(self.serial[family], cores, weights)
+
+    def flush(self, stats: MemStats) -> None:
+        """Overwrite the stats' per-core totals from the family sums.
+
+        Idempotent and cheap; the driver calls it before every timeline
+        snapshot and once at the end of the replay.
+        """
+        for c in range(self.ncores):
+            mem = 0.0
+            for family in MEM_FAMILIES:
+                mem += self.mem[family][c]
+            stats.core_mem_latency[c] = mem
+            srl = 0.0
+            for family in SERIAL_FAMILIES:
+                srl += self.serial[family][c]
+            stats.core_serial_cycles[c] = srl
 
 
 @dataclass
@@ -56,6 +130,10 @@ class ReplayContext:
     #: backend homes by ``vertex % ncores`` instead of the mapping).
     sp_home: Optional[np.ndarray] = None
     sp_local: Optional[np.ndarray] = None
+    #: Per-family latency accumulation (segment-order invariant). The
+    #: driver always supplies one; ``None`` only in direct unit-test
+    #: construction, where the helpers fall back to in-place bincount.
+    ledger: Optional[LatencyLedger] = None
     extra: dict = field(default_factory=dict)
 
 
@@ -68,12 +146,14 @@ def add_core_sums(target: List[float], cores: np.ndarray,
 
 
 def account_latencies(ctx: ReplayContext, cores: np.ndarray,
-                      lat: np.ndarray, atomic: np.ndarray) -> None:
+                      lat: np.ndarray, atomic: np.ndarray,
+                      family: str = "sp_plain") -> None:
     """Fold per-event latencies into the per-core sums.
 
     Atomic events get the core-executed split: a fraction of the
     latency (plus the fixed stall) serializes the pipeline, the rest
-    overlaps as ordinary memory latency.
+    overlaps as ordinary memory latency. ``family`` names the ledger
+    bucket the latencies land in (see :class:`LatencyLedger`).
     """
     stats = ctx.stats
     core_cfg = ctx.config.core
@@ -81,12 +161,18 @@ def account_latencies(ctx: ReplayContext, cores: np.ndarray,
     stall = core_cfg.atomic_stall_cycles
     n_atomic = int(np.count_nonzero(atomic))
     mem = np.where(atomic, lat * (1.0 - ser), lat)
-    add_core_sums(stats.core_mem_latency, cores, mem, ctx.ncores)
+    if ctx.ledger is not None:
+        ctx.ledger.add_mem(family, cores, mem)
+    else:
+        add_core_sums(stats.core_mem_latency, cores, mem, ctx.ncores)
     if n_atomic:
         stats.atomics_total += n_atomic
         stats.atomics_on_cores += n_atomic
         srl = np.where(atomic, lat * ser + stall, 0.0)
-        add_core_sums(stats.core_serial_cycles, cores, srl, ctx.ncores)
+        if ctx.ledger is not None:
+            ctx.ledger.add_serial(family, cores, srl)
+        else:
+            add_core_sums(stats.core_serial_cycles, cores, srl, ctx.ncores)
 
 
 def account_sp_plain(ctx: ReplayContext, trace: Trace,
@@ -117,7 +203,8 @@ def account_sp_plain(ctx: ReplayContext, trace: Trace,
         ctx.crossbar.word_packets += n_remote
         ctx.crossbar.word_bytes += rbytes + n_remote * header
         stats.onchip_word_bytes += rbytes + n_remote * header
-    account_latencies(ctx, cores, lat, prepass.atomic[idx])
+    account_latencies(ctx, cores, lat, prepass.atomic[idx],
+                      family="sp_plain")
 
 
 def account_sp_rmw(ctx: ReplayContext, trace: Trace,
@@ -146,7 +233,8 @@ def account_sp_rmw(ctx: ReplayContext, trace: Trace,
         ctx.crossbar.word_packets += 2 * n_remote
         ctx.crossbar.word_bytes += 2 * (rbytes + n_remote * header)
         stats.onchip_word_bytes += 2 * (rbytes + n_remote * header)
-    account_latencies(ctx, cores, lat, np.ones(n, dtype=bool))
+    account_latencies(ctx, cores, lat, np.ones(n, dtype=bool),
+                      family="sp_rmw")
 
 
 def account_offload(ctx: ReplayContext, trace: Trace,
@@ -166,7 +254,12 @@ def account_offload(ctx: ReplayContext, trace: Trace,
     stats.pisc_ops += n
     issue = config.core.offload_issue_cycles
     counts = np.bincount(cores, minlength=ctx.ncores)
-    serial = stats.core_serial_cycles
+    # Exact integer counts times an integer issue cost: order-free, but
+    # still routed through the ledger because flush() overwrites.
+    serial = (
+        ctx.ledger.serial["offload"] if ctx.ledger is not None
+        else stats.core_serial_cycles
+    )
     for c in range(ctx.ncores):
         serial[c] += float(counts[c]) * issue
 

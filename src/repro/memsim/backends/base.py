@@ -27,7 +27,7 @@ from repro.memsim.accounting import (
 from repro.memsim.mapping import ScratchpadMapping
 from repro.memsim.pisc import Microcode
 from repro.memsim.prepass import TracePrepass
-from repro.memsim.replay import ReplayOutput, run_replay
+from repro.memsim.replay import ReplayOutput, run_replay, run_replay_segments
 from repro.memsim.routes import (
     ROUTE_SP_OFFLOAD,
     ROUTE_SP_PLAIN,
@@ -97,3 +97,15 @@ class HierarchyBackend:
         docstring for the windowed-sampling contract.
         """
         return run_replay(self, trace, sampler)
+
+    def replay_segments(self, segments,
+                        sampler: Optional[ReplaySampler] = None,
+                        ) -> ReplayOutput:
+        """Replay a segmented trace stream with bounded resident memory.
+
+        ``segments`` is a :class:`repro.ligra.segments.SegmentedTrace`
+        (an interleaved archive). Counters are bit-identical to
+        :meth:`replay` over the materialized trace; see
+        :func:`repro.memsim.replay.run_replay_segments`.
+        """
+        return run_replay_segments(self, segments, sampler)

@@ -65,16 +65,25 @@ class DynamicScratchpadBackend(HierarchyBackend):
         if self._use_pisc:
             for p in ctx.piscs:
                 p.load_microcode(self.microcode)
-
-    def route(self, ctx: ReplayContext, trace: Trace,
-              prepass: TracePrepass) -> np.ndarray:
-        n = prepass.num_events
-        routes = np.zeros(n, dtype=np.int8)
+        # The frequency trainer's state lives on the context so it
+        # carries across trace segments: counts learned in segment k
+        # keep deciding victims in segment k+1, exactly as they would
+        # in one whole-trace pass.
         num_sets = (
             max(1, self.capacity_vertices // self.slots_per_set)
             if self.capacity_vertices > 0
             else 0
         )
+        sets: List[dict] = [dict() for _ in range(num_sets)]
+        ctx.extra["dyn_sets"] = sets
+        ctx.extra["dyn_freq"] = {}
+
+    def route(self, ctx: ReplayContext, trace: Trace,
+              prepass: TracePrepass) -> np.ndarray:
+        n = prepass.num_events
+        routes = np.zeros(n, dtype=np.int8)
+        sets = ctx.extra["dyn_sets"]
+        num_sets = len(sets)
         if num_sets == 0 or n == 0:
             return routes
         verts_all = np.asarray(trace.vertex, dtype=np.int64)
@@ -84,8 +93,7 @@ class DynamicScratchpadBackend(HierarchyBackend):
         # counts decide victims), but only the vtxProp subset walks it.
         verts = verts_all[idx].tolist()
         slots = self.slots_per_set
-        sets: List[dict] = [dict() for _ in range(num_sets)]
-        freq: dict = {}
+        freq: dict = ctx.extra["dyn_freq"]
         resident_flags = [False] * len(verts)
         for j, vertex in enumerate(verts):
             count = freq.get(vertex, 0) + 1

@@ -69,4 +69,5 @@ class LockedCacheBackend(HierarchyBackend):
             ctx.crossbar.line_packets += n_remote
             ctx.crossbar.line_bytes += n_remote * (line_bytes + header)
             stats.onchip_line_bytes += n_remote * (line_bytes + header)
-        account_latencies(ctx, cores, lat, prepass.atomic[idx])
+        account_latencies(ctx, cores, lat, prepass.atomic[idx],
+                          family="locked")

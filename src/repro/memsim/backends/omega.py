@@ -25,11 +25,6 @@ from repro.memsim.srcbuffer import SourceVertexBuffer
 
 __all__ = ["OmegaBackend"]
 
-#: Source-buffer hits are charged inside :func:`srcbuf_stage` while the
-#: route is being decided (the LRU walk knows the hit the moment it
-#: happens), so ``account`` never sees this code again.
-ROUTES_ACCOUNTED_AT_ROUTE_TIME = ("ROUTE_SRCBUF_HIT",)
-
 
 @register_backend("omega")
 class OmegaBackend(HierarchyBackend):
@@ -93,14 +88,34 @@ class OmegaBackend(HierarchyBackend):
             routes[hits] = ROUTE_SRCBUF_HIT
         return routes
 
+    def account(self, ctx: ReplayContext, trace: Trace,
+                prepass: TracePrepass, routes: np.ndarray) -> None:
+        # Source-buffer hits: 1-cycle local reads. The stateful LRU walk
+        # in srcbuf_stage decides them at route time, but they are
+        # charged here so windowed/segmented replays attribute them to
+        # the window they occur in.
+        idx = np.flatnonzero(routes == ROUTE_SRCBUF_HIT)
+        if len(idx):
+            stats = ctx.stats
+            stats.srcbuf_hits += len(idx)
+            cores = np.asarray(trace.core[idx], dtype=np.int64)
+            ones = np.ones(len(idx))
+            if ctx.ledger is not None:
+                ctx.ledger.add_mem("srcbuf", cores, ones)
+            else:
+                add_core_sums(
+                    stats.core_mem_latency, cores, ones, ctx.ncores
+                )
+        super().account(ctx, trace, prepass, routes)
+
 
 def srcbuf_stage(ctx: ReplayContext, trace: Trace,
                  cand_idx: np.ndarray) -> np.ndarray:
     """Run the stateful source-buffer LRU over its candidate events.
 
     Walks only the candidates (in trace order), applying the wholesale
-    barrier invalidations at the positions the full scan would, and
-    accounts the hits (1-cycle local reads). Returns the hit indices;
+    barrier invalidations at the positions the full scan would.
+    Returns the hit indices (charged by :meth:`OmegaBackend.account`);
     misses read-allocate and fall through to the plain-SP route.
     """
     srcbufs = ctx.srcbufs
@@ -124,13 +139,4 @@ def srcbuf_stage(ctx: ReplayContext, trace: Trace,
         for buf in srcbufs:
             buf.invalidate_all()
         bi += 1
-    hit_idx = np.asarray(hits, dtype=np.int64)
-    if len(hit_idx):
-        stats = ctx.stats
-        stats.srcbuf_hits += len(hit_idx)
-        hit_cores = np.asarray(trace.core[hit_idx], dtype=np.int64)
-        add_core_sums(
-            stats.core_mem_latency, hit_cores,
-            np.ones(len(hit_idx)), ctx.ncores,
-        )
-    return hit_idx
+    return np.asarray(hits, dtype=np.int64)

@@ -9,6 +9,18 @@ is batch-accounted by the backend. Telemetry sampling
 (:class:`~repro.obs.timeline.ReplaySampler`) switches execution to
 fixed-size windows over the same machinery via
 :class:`~repro.memsim.routes.WindowedRoutes`.
+
+Out-of-core streaming is the same driver over a different *source*:
+:func:`run_replay` wraps an in-core trace as a single segment and
+:func:`run_replay_segments` walks a
+:class:`~repro.ligra.segments.SegmentedTrace` one bounded segment at a
+time. All simulator state (caches, directory, DRAM open rows,
+prefetchers, source buffers, PISCs, the backend's training state in
+``ctx.extra``) is carried across segment boundaries on the shared
+:class:`~repro.memsim.accounting.ReplayContext`, and per-core float
+latencies accumulate through the
+:class:`~repro.memsim.accounting.LatencyLedger`, so streamed replay
+produces counters bit-identical to in-core replay.
 """
 
 from __future__ import annotations
@@ -16,10 +28,11 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.ligra.trace import Trace
 from repro.memsim.cache import Cache
 from repro.memsim.cachestate import CacheSystem
@@ -27,14 +40,14 @@ from repro.memsim.coherence import Directory
 from repro.memsim.dram import DramModel
 from repro.memsim.interconnect import Crossbar
 from repro.memsim.pisc import PiscEngine
-from repro.memsim.prepass import TracePrepass, precompute
+from repro.memsim.prepass import precompute
 from repro.memsim.routes import ROUTE_CACHE, WindowedRoutes
 from repro.memsim.srcbuffer import SourceVertexBuffer
 from repro.memsim.stats import MemStats
 from repro.obs import get_registry, get_tracer
 from repro.obs.timeline import ReplaySampler
 
-__all__ = ["ReplayOutput", "run_replay"]
+__all__ = ["ReplayOutput", "run_replay", "run_replay_segments"]
 
 _LOG = logging.getLogger("repro.memsim.engine")
 
@@ -51,28 +64,90 @@ class ReplayOutput:
     directory: Directory
     srcbufs: Optional[List[SourceVertexBuffer]] = None
     piscs: Optional[List[PiscEngine]] = None
+    #: Number of segments the driver consumed (1 for in-core replay).
+    num_segments: int = 1
+
+
+class _InCoreSource:
+    """A whole resident trace, presented as one interleaved segment."""
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+
+    @property
+    def num_events(self) -> int:
+        return self._trace.num_events
+
+    def segments(self) -> Iterator[Tuple[int, Trace]]:
+        yield 0, self._trace.interleaved()
+
+
+class _SegmentedSource:
+    """A segmented archive, streamed one bounded segment at a time."""
+
+    def __init__(self, segtrace) -> None:
+        if not segtrace.interleaved:
+            # Segments of a non-interleaved archive cannot be reordered
+            # independently (the lockstep permutation is per barrier
+            # span, and spans can straddle segment boundaries), so
+            # streaming it would diverge from in-core replay.
+            raise SimulationError(
+                "streamed replay needs an interleaved segmented archive"
+                " (SpoolingTraceBuilder and the trace store write those);"
+                " use Trace.load() + replay() for this one"
+            )
+        self._segtrace = segtrace
+
+    @property
+    def num_events(self) -> int:
+        return self._segtrace.num_events
+
+    def segments(self) -> Iterator[Tuple[int, Trace]]:
+        seg = self._segtrace
+        for k in range(seg.num_segments):
+            yield int(seg.segment_bounds[k]), seg.segment(k)
 
 
 def run_replay(backend, trace: Trace,
                sampler: Optional[ReplaySampler] = None) -> ReplayOutput:
-    """Replay ``trace`` through ``backend``; the engine template.
+    """Replay an in-core ``trace`` through ``backend``.
 
     ``sampler`` (a :class:`repro.obs.ReplaySampler`) switches the
     cache stage and the batch accounting to windowed execution: every
     N events the cumulative counters are snapshotted into a timeline
     row. The stateful cache system persists across windows and
-    per-route event order is unchanged, so all integer counters are
-    identical to the unwindowed replay; per-core latency sums differ
-    only by float-summation order.
+    per-route event order is unchanged, so all counters — including
+    the per-core float latency sums, which accumulate through the
+    order-invariant :class:`~repro.memsim.accounting.LatencyLedger` —
+    are identical to the unwindowed replay.
     """
-    from repro.memsim.accounting import ReplayContext
+    return _run(backend, _InCoreSource(trace), sampler)
+
+
+def run_replay_segments(backend, segments,
+                        sampler: Optional[ReplaySampler] = None,
+                        ) -> ReplayOutput:
+    """Replay a :class:`~repro.ligra.segments.SegmentedTrace` stream.
+
+    Segments are consumed strictly one at a time — resident memory is
+    bounded by the segment size, not the trace size — while every
+    piece of simulator state carries across boundaries, so the
+    counters are bit-identical to ``run_replay`` over the materialized
+    trace. Requires an interleaved archive (what the spooling builder
+    and the trace store produce).
+    """
+    return _run(backend, _SegmentedSource(segments), sampler)
+
+
+def _run(backend, source, sampler: Optional[ReplaySampler]) -> ReplayOutput:
+    """The engine template, shared by in-core and streamed replay."""
+    from repro.memsim.accounting import LatencyLedger, ReplayContext
 
     tracer = get_tracer()
     metrics = get_registry()
+    total = source.num_events
     with tracer.span("replay", cat="replay", backend=backend.name,
-                     events=trace.num_events) as replay_span:
-        with tracer.span("interleave", cat="replay"):
-            trace = trace.interleaved()
+                     events=total) as replay_span:
         config = backend.config
         ncores = config.core.num_cores
         stats = MemStats(num_cores=ncores)
@@ -82,56 +157,82 @@ def run_replay(backend, trace: Trace,
         system = CacheSystem(config, stats, dram, crossbar)
         if backend.force_scalar_cache:
             system.fast_path_ok = False
+        ledger = LatencyLedger(ncores)
         ctx = ReplayContext(
             config=config, stats=stats, dram=dram, crossbar=crossbar,
-            system=system, ncores=ncores,
+            system=system, ncores=ncores, ledger=ledger,
         )
         backend.prepare(ctx)
-        with tracer.span("prepass", cat="replay"):
-            prepass = precompute(
-                trace, config, mapping=backend.prepass_mapping()
-            )
-        with tracer.span("route", cat="replay"):
-            routes = backend.route(ctx, trace, prepass)
 
-        cache_idx = np.flatnonzero(routes == ROUTE_CACHE)
-        metrics.counter("replay.events").inc(prepass.num_events)
-        metrics.counter("replay.cache_events").inc(len(cache_idx))
-        metrics.counter("replay.offchip_routed_events").inc(
-            prepass.num_events - len(cache_idx)
-        )
-        if sampler is not None and prepass.num_events:
-            _run_windowed(
-                backend, ctx, trace, prepass, routes, cache_idx, sampler,
-                tracer,
+        window = 0
+        if sampler is not None and total:
+            core = config.core
+            window = sampler.begin(
+                total, ncores, core.compute_cycles_per_access, core.mlp,
+                core.imbalance_factor, core.freq_ghz,
             )
-            replay_span.annotate(windows=sampler.timeline().num_windows)
-        else:
-            with tracer.span("cache_path", cat="replay",
-                             events=len(cache_idx)):
-                if len(cache_idx):
-                    system.replay_cache_path(
-                        trace.core[cache_idx],
-                        trace.addr[cache_idx],
-                        prepass.lines[cache_idx],
-                        prepass.banks[cache_idx],
-                        prepass.bank_keys[cache_idx],
-                        prepass.write[cache_idx],
-                        prepass.atomic[cache_idx],
-                        stats.core_mem_latency,
-                        stats.core_serial_cycles,
+        counts = np.zeros(ncores, dtype=np.int64)
+        cache_events = 0
+        num_segments = 0
+        # Wall-clock accumulator for the window in progress (a window
+        # can straddle a segment boundary).
+        win_wall = 0.0
+
+        for offset, seg in source.segments():
+            num_segments += 1
+            with tracer.span("segment", cat="replay", index=num_segments - 1,
+                             start_event=offset, events=seg.num_events):
+                with tracer.span("prepass", cat="replay"):
+                    prepass = precompute(
+                        seg, config, mapping=backend.prepass_mapping()
                     )
-            with tracer.span("account", cat="replay"):
-                backend.account(ctx, trace, prepass, routes)
-        counts = np.bincount(
-            np.asarray(trace.core, dtype=np.int64), minlength=ncores
+                with tracer.span("route", cat="replay"):
+                    routes = backend.route(ctx, seg, prepass)
+                cache_idx = np.flatnonzero(routes == ROUTE_CACHE)
+                cache_events += len(cache_idx)
+                counts += np.bincount(
+                    np.asarray(seg.core, dtype=np.int64), minlength=ncores
+                )
+                if not window:
+                    with tracer.span("cache_path", cat="replay",
+                                     events=len(cache_idx)):
+                        if len(cache_idx):
+                            system.replay_cache_path(
+                                seg.core[cache_idx],
+                                seg.addr[cache_idx],
+                                prepass.lines[cache_idx],
+                                prepass.banks[cache_idx],
+                                prepass.bank_keys[cache_idx],
+                                prepass.write[cache_idx],
+                                prepass.atomic[cache_idx],
+                                ledger.mem["cache"],
+                                ledger.serial["cache"],
+                            )
+                    with tracer.span("account", cat="replay"):
+                        backend.account(ctx, seg, prepass, routes)
+                else:
+                    win_wall = _run_windowed_segment(
+                        backend, ctx, seg, prepass, routes, cache_idx,
+                        sampler, tracer, offset, total, window, win_wall,
+                    )
+
+        metrics.counter("replay.events").inc(total)
+        metrics.counter("replay.cache_events").inc(cache_events)
+        metrics.counter("replay.offchip_routed_events").inc(
+            total - cache_events
         )
+        metrics.counter("replay.segments").inc(num_segments)
+        ledger.flush(stats)
         stats.core_accesses = [int(x) for x in counts]
         backend.finalize(ctx)
+        if window:
+            replay_span.annotate(windows=sampler.timeline().num_windows)
+        if num_segments > 1:
+            replay_span.annotate(segments=num_segments)
         _LOG.debug(
-            "replayed %d events through %s (%d cache-routed,"
+            "replayed %d events through %s (%d segment(s), %d cache-routed,"
             " l2 hit rate %.4f)",
-            prepass.num_events, backend.name, len(cache_idx),
+            total, backend.name, max(num_segments, 1), cache_events,
             stats.l2_hit_rate,
         )
         return ReplayOutput(
@@ -143,60 +244,71 @@ def run_replay(backend, trace: Trace,
             directory=system.directory,
             srcbufs=ctx.srcbufs,
             piscs=ctx.piscs,
+            num_segments=max(num_segments, 1),
         )
 
 
-def _run_windowed(
+def _run_windowed_segment(
     backend,
     ctx,
-    trace: Trace,
-    prepass: TracePrepass,
+    seg: Trace,
+    prepass,
     routes: np.ndarray,
     cache_idx: np.ndarray,
     sampler: ReplaySampler,
     tracer,
-) -> None:
-    """Windowed cache stage + accounting for timeline sampling.
+    offset: int,
+    total: int,
+    window: int,
+    win_wall: float,
+) -> float:
+    """Windowed cache stage + accounting over one segment.
 
-    Each window replays its cache-routed slice through the shared
-    stateful system and batch-accounts its non-cache routes via a
-    masked copy of the route array
-    (:class:`~repro.memsim.routes.WindowedRoutes`: out-of-window
-    events carry the masked sentinel, which matches no route code),
-    then snapshots the cumulative counters into the sampler.
-    Accounting performed during :meth:`route` (e.g. source-buffer
-    hits) lands in the first window's row.
+    The window grid is *global* (multiples of ``window`` over the
+    whole event stream), so a segment is cut at every window boundary
+    it crosses and a window that straddles segments accumulates
+    across calls: ``win_wall`` carries the in-progress window's
+    wall-clock, and the sampler only snapshots when the global
+    position reaches a boundary (or the end of the stream). Counters
+    therefore land in the window they occur in, however the trace is
+    segmented.
     """
-    n = prepass.num_events
-    core = ctx.config.core
-    window = sampler.begin(
-        n, ctx.ncores, core.compute_cycles_per_access, core.mlp,
-        core.imbalance_factor, core.freq_ghz,
-    )
     stats = ctx.stats
     system = ctx.system
     windowed = WindowedRoutes(routes)
-    lo = 0
-    while lo < n:
-        hi = min(lo + window, n)
+    end = offset + seg.num_events
+    lo = offset
+    while lo < end:
+        hi = min(end, ((lo // window) + 1) * window)
         wall_start = time.perf_counter()
         with tracer.span("window", cat="replay", start_event=lo,
                          end_event=hi):
-            ci_lo, ci_hi = np.searchsorted(cache_idx, (lo, hi))
+            ci_lo, ci_hi = np.searchsorted(
+                cache_idx, (lo - offset, hi - offset)
+            )
             sub = cache_idx[ci_lo:ci_hi]
             if len(sub):
                 system.replay_cache_path(
-                    trace.core[sub],
-                    trace.addr[sub],
+                    seg.core[sub],
+                    seg.addr[sub],
                     prepass.lines[sub],
                     prepass.banks[sub],
                     prepass.bank_keys[sub],
                     prepass.write[sub],
                     prepass.atomic[sub],
-                    stats.core_mem_latency,
-                    stats.core_serial_cycles,
+                    ctx.ledger.mem["cache"],
+                    ctx.ledger.serial["cache"],
                 )
-            backend.account(ctx, trace, prepass, windowed.fill(lo, hi))
-            windowed.clear(lo, hi)
-        sampler.record(lo, hi, stats, time.perf_counter() - wall_start)
+            backend.account(
+                ctx, seg, prepass, windowed.fill(lo - offset, hi - offset)
+            )
+            windowed.clear(lo - offset, hi - offset)
+        win_wall += time.perf_counter() - wall_start
+        if hi % window == 0 or hi == total:
+            ctx.ledger.flush(stats)
+            sampler.record(
+                ((hi - 1) // window) * window, hi, stats, win_wall
+            )
+            win_wall = 0.0
         lo = hi
+    return win_wall

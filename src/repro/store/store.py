@@ -19,11 +19,21 @@ content-addressed key:
 
 Each entry is two files in the store root:
 
-- ``<key>.npz`` — the compressed columnar :class:`~repro.ligra.trace.Trace`;
+- ``<key>.npz`` — a *segmented, interleaved* trace archive
+  (:class:`~repro.ligra.segments.SegmentedTrace`): warm hits can be
+  streamed into the replay one bounded segment at a time
+  (:meth:`TraceStore.open_segments`) without ever rehydrating the
+  whole trace, and :meth:`TraceStore.load` still materializes it
+  in-core for whole-trace replay;
 - ``<key>.json`` — a sidecar with the downstream metadata
   :func:`repro.core.system.run_system` needs to skip generation
   entirely (vtxProp address ranges, bytes-per-vertex, event count,
   graph shape) plus format versions for compatibility checks.
+
+Cold streaming runs spool their trace to disk while it is generated
+(:class:`~repro.ligra.segments.SpoolingTraceBuilder`) and hand the
+finished archive to :meth:`TraceStore.adopt`, which moves it into
+place without a read-back.
 
 Entries are evicted LRU by file mtime when the store grows past its
 size cap. Writes are atomic (temp file + ``os.replace``) so concurrent
@@ -43,7 +53,9 @@ import hashlib
 import json
 import logging
 import os
+import shutil
 import tempfile
+import time
 import zipfile
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -53,6 +65,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import TraceError
+from repro.ligra.segments import DEFAULT_SEGMENT_EVENTS, SegmentedTrace
 from repro.ligra.trace import TRACE_FORMAT_VERSION, Trace
 from repro.obs import get_registry
 
@@ -82,6 +95,12 @@ DEFAULT_CAPACITY_BYTES = 512 * 1024 * 1024
 #: Environment variables controlling the ambient store.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_CAPACITY_MB = "REPRO_CACHE_CAPACITY_MB"
+
+#: Orphaned ``.*.tmp*`` files (left by a writer killed mid
+#: ``_atomic_write``) older than this are garbage-collected during
+#: :meth:`TraceStore.evict`. Young temp files are left alone — they
+#: may belong to a live concurrent writer.
+ORPHAN_TMP_AGE_SECONDS = 3600.0
 
 
 def normalize_kwargs(kwargs: Dict) -> Optional[Dict]:
@@ -200,20 +219,7 @@ class TraceStore:
         meta_path = self.meta_path(key)
         trace_path = self.trace_path(key)
         try:
-            with open(meta_path) as f:
-                meta = json.load(f)
-            if not isinstance(meta, dict):
-                raise TraceError(f"{meta_path} is not a sidecar object")
-            if meta.get("sidecar_version") != SIDECAR_VERSION:
-                raise TraceError(
-                    f"sidecar version {meta.get('sidecar_version')!r}"
-                    f" != {SIDECAR_VERSION}"
-                )
-            if meta.get("trace_format_version") != TRACE_FORMAT_VERSION:
-                raise TraceError(
-                    f"trace format {meta.get('trace_format_version')!r}"
-                    f" != {TRACE_FORMAT_VERSION}"
-                )
+            meta = self._read_sidecar(meta_path)
             trace = Trace.load(trace_path)
             if trace.num_events != int(meta.get("num_events", -1)):
                 raise TraceError(
@@ -237,19 +243,107 @@ class TraceStore:
         counters.counter("trace_store.hits").inc()
         return trace, meta
 
-    def store(self, key: str, trace: Trace, meta: Dict) -> None:
-        """Insert (or overwrite) one entry atomically, then evict LRU."""
+    def open_segments(self, key: str) -> Optional[Tuple[SegmentedTrace, Dict]]:
+        """Fetch ``(segments, metadata)`` for ``key``, or ``None`` on miss.
+
+        The warm-hit streaming path: the returned
+        :class:`~repro.ligra.segments.SegmentedTrace` reads one
+        bounded segment at a time straight from the archive — the
+        whole trace is never resident. Validation and
+        corruption-discard semantics match :meth:`load`; the caller
+        owns closing the handle (it is a context manager).
+        """
+        counters = get_registry()
+        meta_path = self.meta_path(key)
+        trace_path = self.trace_path(key)
+        try:
+            meta = self._read_sidecar(meta_path)
+            segments = SegmentedTrace.open(trace_path)
+            try:
+                if segments.num_events != int(meta.get("num_events", -1)):
+                    raise TraceError(
+                        f"event count {segments.num_events} does not match"
+                        f" sidecar {meta.get('num_events')!r}"
+                    )
+                if not segments.interleaved:
+                    raise TraceError("stored archive is not interleaved")
+            except BaseException:
+                segments.close()
+                raise
+        except FileNotFoundError:
+            counters.counter("trace_store.misses").inc()
+            return None
+        except (
+            TraceError, OSError, ValueError, KeyError, zipfile.BadZipFile,
+        ) as exc:
+            _LOG.warning(
+                "trace store: discarding unusable entry %s (%s)", key, exc
+            )
+            counters.counter("trace_store.corrupt").inc()
+            counters.counter("trace_store.misses").inc()
+            self.discard(key)
+            return None
+        self._touch(trace_path, meta_path)
+        counters.counter("trace_store.hits").inc()
+        return segments, meta
+
+    def store(self, key: str, trace: Trace, meta: Dict,
+              segment_events: Optional[int] = None) -> None:
+        """Insert (or overwrite) one entry atomically, then evict LRU.
+
+        The archive is written segmented and interleaved
+        (``segment_events`` per segment, default
+        :data:`~repro.ligra.segments.DEFAULT_SEGMENT_EVENTS`) so a
+        later warm hit can stream it without rehydration.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         doc = dict(meta)
         doc.setdefault("sidecar_version", SIDECAR_VERSION)
         doc.setdefault("trace_format_version", TRACE_FORMAT_VERSION)
         doc.setdefault("num_events", trace.num_events)
         doc.setdefault("key", key)
+        step = int(segment_events) if segment_events else DEFAULT_SEGMENT_EVENTS
         # Trace first, sidecar second: the sidecar's presence marks the
         # entry complete, so a reader never sees a half-written pair.
         self._atomic_write(
-            self.trace_path(key), lambda path: trace.save(path)
+            self.trace_path(key),
+            lambda path: SegmentedTrace.from_trace(trace, step).save(path),
         )
+        self._atomic_write(
+            self.meta_path(key),
+            lambda path: Path(path).write_text(
+                json.dumps(doc, indent=2, sort_keys=True)
+            ),
+        )
+        get_registry().counter("trace_store.stores").inc()
+        self.evict()
+
+    def adopt(self, key: str, archive_path: Union[str, os.PathLike],
+              meta: Dict) -> None:
+        """Move a spooled segmented archive into the store (no copy).
+
+        The cold streaming path: a
+        :class:`~repro.ligra.segments.SpoolingTraceBuilder` already
+        wrote the interleaved archive to ``archive_path``; renaming it
+        into place makes it this key's entry without the trace ever
+        being resident. ``meta`` must carry ``num_events`` (readers
+        validate against it).
+        """
+        if "num_events" not in meta:
+            raise TraceError("adopt() needs meta['num_events']")
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = dict(meta)
+        doc.setdefault("sidecar_version", SIDECAR_VERSION)
+        doc.setdefault("trace_format_version", TRACE_FORMAT_VERSION)
+        doc.setdefault("key", key)
+        trace_path = self.trace_path(key)
+        src = os.fspath(archive_path)
+        try:
+            os.replace(src, trace_path)
+        except OSError:
+            # Spool directory on another filesystem: fall back to a
+            # copy-and-delete move.
+            shutil.move(src, trace_path)
         self._atomic_write(
             self.meta_path(key),
             lambda path: Path(path).write_text(
@@ -307,8 +401,11 @@ class TraceStore:
     def evict(self) -> int:
         """Drop least-recently-used entries until under capacity.
 
+        Also garbage-collects temp files orphaned by writers killed
+        mid-write (older than :data:`ORPHAN_TMP_AGE_SECONDS`).
         Returns the number of entries evicted.
         """
+        self._collect_orphans()
         entries = self.entries()
         total = sum(e.nbytes for e in entries)
         evicted = 0
@@ -331,9 +428,60 @@ class TraceStore:
         for entry in self.entries():
             self.discard(entry.key)
 
+    def _collect_orphans(self) -> int:
+        """Delete aged ``.*.tmp*`` leftovers from interrupted writes.
+
+        A crash (or kill) between ``mkstemp`` and ``os.replace`` in
+        :meth:`_atomic_write` strands a dot-prefixed temp file that
+        :meth:`entries` never counts — without collection the store
+        would leak capacity invisibly. Files younger than the age gate
+        are spared: they may belong to a writer that is still running.
+        """
+        removed = 0
+        now = time.time()
+        try:
+            candidates = list(self.root.glob(".*.tmp*"))
+        except OSError:
+            return 0
+        for path in candidates:
+            try:
+                if now - path.stat().st_mtime < ORPHAN_TMP_AGE_SECONDS:
+                    continue
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        if removed:
+            _LOG.info(
+                "trace store: collected %d orphaned temp file(s)", removed
+            )
+            get_registry().counter("trace_store.orphans_collected").inc(
+                removed
+            )
+        return removed
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _read_sidecar(meta_path: Path) -> Dict:
+        """Parse and version-check one sidecar, raising on any defect."""
+        with open(meta_path) as f:
+            meta = json.load(f)
+        if not isinstance(meta, dict):
+            raise TraceError(f"{meta_path} is not a sidecar object")
+        if meta.get("sidecar_version") != SIDECAR_VERSION:
+            raise TraceError(
+                f"sidecar version {meta.get('sidecar_version')!r}"
+                f" != {SIDECAR_VERSION}"
+            )
+        if meta.get("trace_format_version") != TRACE_FORMAT_VERSION:
+            raise TraceError(
+                f"trace format {meta.get('trace_format_version')!r}"
+                f" != {TRACE_FORMAT_VERSION}"
+            )
+        return meta
+
     @staticmethod
     def _touch(*paths: Path) -> None:
         for path in paths:

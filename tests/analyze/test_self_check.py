@@ -81,10 +81,10 @@ def test_wall_clock_in_replay_trips_det001(scratch_src):
     assert "DET001" in _rules_fired(scratch_src)
 
 
-def test_dropping_the_route_declaration_trips_rte001(scratch_src):
+def test_dropping_the_route_accounting_trips_rte001(scratch_src):
     omega = scratch_src / "src/repro/memsim/backends/omega.py"
     text = omega.read_text()
-    needle = 'ROUTES_ACCOUNTED_AT_ROUTE_TIME = ("ROUTE_SRCBUF_HIT",)\n'
+    needle = '        idx = np.flatnonzero(routes == ROUTE_SRCBUF_HIT)\n'
     assert needle in text
     omega.write_text(text.replace(needle, ""))
     assert "RTE001" in _rules_fired(scratch_src)

@@ -113,6 +113,31 @@ class TestTraceFormat:
     def test_current_version_is_readable(self):
         assert TRACE_FORMAT_VERSION in READABLE_TRACE_VERSIONS
 
+    def test_legacy_monolithic_archives_replay_unchanged(
+        self, tmp_path, small_powerlaw
+    ):
+        # v1/v2 archives are monolithic ``.npz`` files (no segment
+        # index). They must not just load — they must replay to the
+        # same counters as the live trace across the v3 bump.
+        from repro.config import SimConfig
+        from repro.memsim.hierarchy import BaselineHierarchy
+
+        tr = run_pagerank(small_powerlaw, num_cores=4).trace
+        cfg = SimConfig.scaled_baseline(num_cores=4)
+        want = BaselineHierarchy(cfg).replay(tr).stats.as_dict()
+        path = tmp_path / "legacy.npz"
+        tr.save(path)
+        with np.load(path) as data:
+            columns = {name: data[name] for name in data.files}
+        assert "segment_bounds" not in columns  # monolithic layout
+        for version in (1, 2):
+            assert version in READABLE_TRACE_VERSIONS
+            columns["format_version"] = np.int64(version)
+            np.savez(path, **columns)
+            loaded = Trace.load(path)
+            got = BaselineHierarchy(cfg).replay(loaded).stats.as_dict()
+            assert got == want
+
     def test_docs_match_constant(self):
         # docs/trace-format.md states the current version inline; the
         # analyzer's doc-sync rule is the single source of truth for

@@ -146,6 +146,139 @@ class TestStoreRoundtrip:
         assert store.load("k1") is None
 
 
+class TestSegmentedEntries:
+    """Entries are segmented archives; warm hits can stream them."""
+
+    def test_stored_entry_is_a_segmented_archive(self, tmp_path):
+        store = TraceStore(tmp_path)
+        tr = _toy_trace()
+        store.store("k1", tr, {"num_events": tr.num_events})
+        with np.load(store.trace_path("k1")) as data:
+            assert "segment_bounds" in data.files
+            assert int(data["interleaved"]) == 1
+
+    def test_open_segments_streams_warm_hit(self, tmp_path):
+        store = TraceStore(tmp_path)
+        tr = _toy_trace(n=64)
+        store.store("k1", tr, {"num_events": tr.num_events},
+                    segment_events=16)
+        entry = store.open_segments("k1")
+        assert entry is not None
+        segments, meta = entry
+        assert meta["key"] == "k1"
+        assert segments.num_segments == 4
+        np.testing.assert_array_equal(
+            segments.materialize().addr, tr.interleaved().addr
+        )
+        segments.close()
+
+    def test_open_segments_miss_and_touch(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.open_segments("nope") is None
+
+    def test_open_segments_discards_corruption(self, tmp_path):
+        store = TraceStore(tmp_path)
+        tr = _toy_trace()
+        store.store("k1", tr, {"num_events": tr.num_events})
+        data = store.trace_path("k1").read_bytes()
+        store.trace_path("k1").write_bytes(data[: len(data) // 2])
+        assert store.open_segments("k1") is None
+        assert not store.trace_path("k1").exists()
+
+    def test_open_segments_discards_event_count_mismatch(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.store("k1", _toy_trace(), {})
+        meta = json.loads(store.meta_path("k1").read_text())
+        meta["num_events"] = 7
+        store.meta_path("k1").write_text(json.dumps(meta))
+        assert store.open_segments("k1") is None
+
+    def test_load_rehydrates_segmented_entry(self, tmp_path):
+        store = TraceStore(tmp_path)
+        tr = _toy_trace(n=64)
+        store.store("k1", tr, {"num_events": tr.num_events},
+                    segment_events=16)
+        entry = store.load("k1")
+        assert entry is not None
+        loaded, _ = entry
+        np.testing.assert_array_equal(loaded.addr, tr.interleaved().addr)
+
+
+class TestAdopt:
+    def _spool(self, tmp_path, tr, name="spool.npz", step=16):
+        from repro.ligra.segments import SegmentedTrace
+
+        path = tmp_path / name
+        SegmentedTrace.from_trace(tr, step).save(path)
+        return path
+
+    def test_adopt_moves_archive_into_place(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        tr = _toy_trace(n=64)
+        spool = self._spool(tmp_path, tr)
+        store.adopt("k1", spool, {"num_events": tr.num_events})
+        assert not spool.exists()
+        entry = store.open_segments("k1")
+        assert entry is not None
+        segments, meta = entry
+        assert meta["num_events"] == tr.num_events
+        np.testing.assert_array_equal(
+            segments.materialize().addr, tr.interleaved().addr
+        )
+        segments.close()
+
+    def test_adopt_requires_num_events(self, tmp_path):
+        from repro.errors import TraceError
+
+        store = TraceStore(tmp_path / "store")
+        tr = _toy_trace()
+        spool = self._spool(tmp_path, tr)
+        with pytest.raises(TraceError, match="num_events"):
+            store.adopt("k1", spool, {})
+
+    def test_adopted_handle_survives_the_rename(self, tmp_path):
+        """POSIX: a handle opened on the spool keeps reading after
+        adopt() renames (or even unlinks) the path under it."""
+        from repro.ligra.segments import SegmentedTrace
+
+        store = TraceStore(tmp_path / "store")
+        tr = _toy_trace(n=64)
+        spool = self._spool(tmp_path, tr)
+        handle = SegmentedTrace.open(spool)
+        store.adopt("k1", spool, {"num_events": tr.num_events})
+        np.testing.assert_array_equal(
+            handle.materialize().addr, tr.interleaved().addr
+        )
+        handle.close()
+
+
+class TestOrphanCollection:
+    def test_aged_tmp_files_are_collected(self, tmp_path):
+        from repro.store.store import ORPHAN_TMP_AGE_SECONDS
+
+        store = TraceStore(tmp_path)
+        orphan = tmp_path / ".deadbeef.tmp.npz"
+        orphan.write_bytes(b"junk")
+        stale = 1_000_000
+        os.utime(orphan, (stale, stale))
+        fresh = tmp_path / ".cafef00d.tmp.npz"
+        fresh.write_bytes(b"junk")
+        assert ORPHAN_TMP_AGE_SECONDS > 60
+        store.evict()
+        assert not orphan.exists()
+        assert fresh.exists()  # in-flight writes stay untouched
+
+    def test_visible_entries_never_match_the_orphan_glob(self, tmp_path):
+        store = TraceStore(tmp_path)
+        tr = _toy_trace()
+        store.store("k1", tr, {"num_events": tr.num_events})
+        stale = 1_000_000
+        for path in (store.trace_path("k1"), store.meta_path("k1")):
+            os.utime(path, (stale, stale))
+        store.evict()
+        assert store.load("k1") is not None
+
+
 class TestEviction:
     def _fill(self, store, keys):
         for i, key in enumerate(keys):
