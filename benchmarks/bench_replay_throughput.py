@@ -30,7 +30,7 @@ from repro.memsim.engine import BaselineBackend, OmegaBackend
 from repro.memsim.mapping import ScratchpadMapping
 from repro.memsim.scratchpad import hot_capacity_for
 
-from conftest import emit
+from conftest import emit, record
 
 #: Seed-tree replay throughput on PageRank/lj (events/second), measured
 #: on the same host with the pre-refactor per-event loop at commit
@@ -122,6 +122,21 @@ def test_replay_throughput(benchmark):
         " from vectorized routing\n"
     )
     emit("replay_throughput", text)
+    record(
+        "replay_throughput",
+        {
+            "events_per_sec": {
+                name: round(x * SEED_EVENTS_PER_SEC[name], 1)
+                for name, x in speedups.items()
+            },
+            "speedup_vs_seed": {k: round(v, 3) for k, v in speedups.items()},
+        },
+        context={
+            "workload": "pagerank/lj",
+            "seed_events_per_sec": SEED_EVENTS_PER_SEC,
+            "rounds": ROUNDS,
+        },
+    )
 
     # The refactor's acceptance bar: >=2.5x on both headline backends
     # over the pre-refactor loop. The recorded results file holds the

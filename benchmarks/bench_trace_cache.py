@@ -35,7 +35,7 @@ from repro.core.system import run_system
 from repro.obs import SpanTracer, use_tracer
 from repro.store import TraceStore
 
-from conftest import emit
+from conftest import emit, record
 
 ROUNDS = 3
 SWEEP_WORKERS = 4
@@ -152,6 +152,23 @@ def test_trace_cache_speedup(benchmark):
         "the (uncached, backend-dependent) replay stage.\n"
     )
     emit("trace_cache", text)
+    record(
+        "trace_cache",
+        {
+            "acquisition_speedup": round(stage_x, 3),
+            "end_to_end_speedup": round(end_x, 3),
+            "sweep_speedup": round(par_x, 3),
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+        },
+        context={
+            "workload": "pagerank/lj (omega)",
+            "sweep_cells": cells,
+            "sweep_workers": SWEEP_WORKERS,
+            "cpus": cpus,
+            "rounds": ROUNDS,
+        },
+    )
 
     # Acceptance bars: the cached stage must win >=5x and the warm run
     # must show an honest end-to-end improvement. The parallel-sweep

@@ -16,7 +16,10 @@ it, or set ``REPRO_BENCH_NO_CACHE=1`` to disable persistence.
 
 Every bench emits its rows both to stdout and to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be assembled
-from the artifacts.
+from the artifacts. Headline benches additionally append one
+ledger-format entry per invocation to a machine-readable
+``BENCH_<name>.json`` trajectory at the repo root (via
+:func:`record`, backed by :mod:`repro.bench.record`).
 
 Run with::
 
@@ -34,9 +37,13 @@ import pytest
 from repro.config import SimConfig
 from repro.core.report import Comparison, SimReport
 from repro.core.system import run_system
+from repro.bench.record import record_bench
 from repro.bench.runner import bench_graph
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Repo root — where the BENCH_<name>.json trajectories live.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Persistent trace-store root shared by every benchmark process.
 TRACE_CACHE_DIR = os.environ.get(
@@ -57,6 +64,12 @@ def emit(name: str, text: str) -> None:
     print(text, end="" if text.endswith("\n") else "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def record(name: str, metrics: Dict, context: Optional[Dict] = None) -> None:
+    """Append this invocation's numbers to ``BENCH_<name>.json``."""
+    path = record_bench(name, metrics, REPO_ROOT, context)
+    print(f"recorded trajectory entry: {path}")
 
 
 class ComparisonCache:

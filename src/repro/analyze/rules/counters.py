@@ -10,8 +10,11 @@ every manifest. This rule cross-checks, statically:
 - the scalar ``int`` fields of ``MemStats`` (``repro.memsim.stats``),
 - the increment sites across the simulation + telemetry packages,
 - the reporting surface: ``MemStats.as_dict`` (transitively through
-  the derived-metric properties) and the timeline exporter's
-  ``_STAT_FIELDS`` snapshot tuple (``repro.obs.timeline``).
+  the derived-metric properties), the timeline exporter's
+  ``_STAT_FIELDS`` snapshot tuple (``repro.obs.timeline``), and the
+  per-class attribution fold tuple ``ATTRIBUTED_FIELDS``
+  (``repro.obs.attribution``), whose every name must conserve against
+  a real ``MemStats`` counter.
 
 Every written counter must be reachable from the reporting surface
 and every reported name must exist and be written somewhere.
@@ -33,6 +36,9 @@ STATS_MODULE = "repro.memsim.stats"
 
 #: Module holding the windowed-timeline snapshot tuple.
 TIMELINE_MODULE = "repro.obs.timeline"
+
+#: Module holding the per-class attribution fold tuple.
+ATTRIBUTION_MODULE = "repro.obs.attribution"
 
 #: Packages scanned for counter increments.
 WRITER_PACKAGES = ("repro.memsim", "repro.core", "repro.ligra", "repro.obs")
@@ -184,11 +190,34 @@ def check_counter_conservation(
                 " runtime",
             )
 
+    # The attribution fold tuple is a reporting surface too: every
+    # per-class column must conserve against a real MemStats counter
+    # (AttributionAccumulator.verify reads it with getattr at runtime).
+    attributed_fields: Set[str] = set()
+    attribution_mod = project.get(ATTRIBUTION_MODULE)
+    if attribution_mod is not None:
+        from repro.analyze.astutil import module_constant
+
+        value, attributed_line = module_constant(
+            attribution_mod.tree, "ATTRIBUTED_FIELDS"
+        )
+        if isinstance(value, (tuple, list)):
+            attributed_fields = {v for v in value if isinstance(v, str)}
+        for name in sorted(attributed_fields - set(counters)):
+            yield info.finding(
+                attribution_mod.rel_path, attributed_line,
+                f"attribution field {name!r} is not a MemStats counter;"
+                " the conservation check would raise at runtime",
+            )
+
     written = _written_fields(project, set(counters))
 
     for name, lineno in sorted(counters.items()):
         is_written = name in written
-        is_reported = name in reported or name in snapshot_fields
+        is_reported = (
+            name in reported or name in snapshot_fields
+            or name in attributed_fields
+        )
         if is_written and not is_reported:
             yield info.finding(
                 stats_mod.rel_path, lineno,

@@ -1,0 +1,70 @@
+"""Machine-readable bench trajectories: ``BENCH_<name>.json`` files.
+
+The benchmark harness prints tables and archives them as text under
+``benchmarks/results/``, which is fine for humans and useless for
+trend analysis — the perf trajectory across PRs was effectively
+``[]``. This module gives each bench a machine-readable trajectory:
+one ``BENCH_<name>.json`` file at the repo root holding a JSON array
+of run-ledger-format entries (:func:`repro.obs.ledger.make_entry`,
+``kind="bench"``), appended once per invocation. The array shape (vs
+the ledger's JSONL) keeps the file a single valid JSON document that
+plotting and CI tooling can load directly, while each element stays
+interchangeable with ``repro history`` ledger entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.obs.ledger import make_entry
+
+__all__ = ["BENCH_MANIFEST_SCHEMA", "bench_manifest", "record_bench"]
+
+#: Schema tag of the minimal manifest a bench entry wraps.
+BENCH_MANIFEST_SCHEMA = "omega-repro/bench-manifest/v1"
+
+
+def bench_manifest(name: str, metrics: Dict,
+                   context: Optional[Dict] = None) -> Dict:
+    """A minimal manifest-shaped record for one bench invocation.
+
+    ``metrics`` holds the bench's headline numbers (throughputs,
+    speedups); ``context`` optionally records what was measured
+    (workload, backend, rounds). The shape deliberately mirrors the
+    run manifest's top-level fields so ledger tooling can treat both
+    uniformly.
+    """
+    return {
+        "schema": BENCH_MANIFEST_SCHEMA,
+        "bench": name,
+        "metrics": dict(metrics),
+        "context": dict(context or {}),
+    }
+
+
+def record_bench(name: str, metrics: Dict, repo_root,
+                 context: Optional[Dict] = None) -> str:
+    """Append one bench entry to ``<repo_root>/BENCH_<name>.json``.
+
+    Returns the file path written. The file is a JSON array of
+    ledger-format entries; a missing or unreadable file starts a fresh
+    trajectory rather than failing the bench.
+    """
+    path = os.path.join(os.fspath(repo_root), f"BENCH_{name}.json")
+    entries = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        if isinstance(doc, list):
+            entries = doc
+    except (OSError, json.JSONDecodeError):
+        entries = []
+    entries.append(
+        make_entry(bench_manifest(name, metrics, context), kind="bench")
+    )
+    with open(path, "w") as f:
+        json.dump(entries, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path

@@ -6,6 +6,9 @@ Usage::
     python -m repro run --dataset lj --algorithm pagerank --system omega
     python -m repro run --dataset lj --trace-out trace.json \
         --metrics-out timeline.json --manifest run.json
+    python -m repro run --dataset lj --attribution --manifest run.json
+    python -m repro explain run.json --sort dram
+    python -m repro history --ledger runs.jsonl --last 5
     python -m repro compare --dataset lj --algorithm pagerank
     python -m repro sweep --algorithms pagerank,bfs --datasets sd,lj \
         --backends baseline,omega --workers 4 --json-out sweep.json
@@ -117,6 +120,29 @@ def build_parser() -> argparse.ArgumentParser:
              " REPRO_SEGMENT_EVENTS environment variable, else"
              " whole-trace in-core)",
     )
+    run.add_argument(
+        "--attribution",
+        action="store_true",
+        help="fold per-class traffic attribution (graph entity x degree"
+             " stratum) during the replay; the breakdown lands in the"
+             " manifest and is queryable with 'repro explain' (default:"
+             " the REPRO_ATTRIBUTION environment variable)",
+    )
+    run.add_argument(
+        "--attribution-out",
+        metavar="PATH",
+        default=None,
+        help="write the attribution breakdown as standalone JSON to"
+             " PATH (implies --attribution)",
+    )
+    run.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="append one run-ledger entry (JSONL) to PATH after the run"
+             " (default: the REPRO_LEDGER environment variable, else"
+             " off); inspect with 'repro history'",
+    )
 
     _cache_args(run)
 
@@ -152,6 +178,59 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv-out", metavar="PATH", default=None,
                        help="write the sweep rows as CSV to PATH")
     _cache_args(sweep)
+
+    explain = sub.add_parser(
+        "explain",
+        help="render a run's attribution breakdown (where the memory"
+             " traffic goes, by graph entity and degree class)",
+    )
+    explain.add_argument(
+        "manifest",
+        help="run-manifest JSON with an attribution block (a run made"
+             " with --attribution), or a standalone attribution JSON",
+    )
+    explain.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="show only the top N classes (default: all)",
+    )
+    explain.add_argument(
+        "--sort", choices=("dram", "events", "capture"), default="dram",
+        help="table sort key: DRAM bytes, event count, or scratchpad"
+             " capture rate (default dram)",
+    )
+
+    history = sub.add_parser(
+        "history",
+        help="list, filter, and regression-diff run-ledger entries",
+    )
+    history.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger JSONL file (default: the REPRO_LEDGER environment"
+             " variable)",
+    )
+    history.add_argument(
+        "--last", type=int, default=0, metavar="N",
+        help="show only the most recent N matching entries",
+    )
+    history.add_argument("--kind", choices=("run", "bench"), default=None,
+                         help="only entries of this kind")
+    history.add_argument("--dataset", default=None,
+                         help="only entries for this dataset")
+    history.add_argument("--algorithm", default=None,
+                         help="only entries for this algorithm")
+    history.add_argument("--backend", default=None,
+                         help="only entries for this backend")
+    history.add_argument(
+        "--diff", metavar="GOLDEN", default=None,
+        help="diff the newest matching entry's manifest against the"
+             " GOLDEN manifest JSON; exit 1 if a tracked metric"
+             " regressed beyond tolerance",
+    )
+    history.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed relative regression per metric for --diff"
+             " (default 0.05)",
+    )
 
     report = sub.add_parser(
         "report",
@@ -282,6 +361,11 @@ def _cmd_run(args) -> int:
         trace_path=args.trace_out, timeline_path=args.metrics_out,
         obs_window=args.obs_window, cache=_resolve_cache(args),
         segment_events=args.segment_events,
+        attribution=(
+            True if (args.attribution or args.attribution_out) else None
+        ),
+        attribution_path=args.attribution_out,
+        ledger_path=args.ledger,
     )
 
     for key, value in report.summary().items():
@@ -297,6 +381,14 @@ def _cmd_run(args) -> int:
               f" -> {args.metrics_out}")
     if args.trace_out:
         print(f"trace: {args.trace_out}")
+    if report.attribution is not None:
+        from repro.obs import explain_lines
+
+        print()
+        for line in explain_lines(report.attribution):
+            print(line)
+    if args.attribution_out:
+        print(f"attribution: {args.attribution_out}")
     return 0
 
 
@@ -431,6 +523,76 @@ def _cmd_lint(args) -> int:
     return result.exit_code()
 
 
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro.obs import explain_lines
+    from repro.obs.attribution import ATTRIBUTION_SCHEMA
+
+    try:
+        with open(args.manifest) as f:
+            doc = json.load(f)
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.manifest}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{args.manifest} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ReproError(f"{args.manifest} is not a manifest or attribution"
+                         " document")
+    if doc.get("schema") == ATTRIBUTION_SCHEMA:
+        block = doc
+    else:
+        block = doc.get("attribution")
+        if not block:
+            raise ReproError(
+                f"{args.manifest} carries no attribution block; rerun"
+                " with 'repro run --attribution'"
+            )
+    for fld in ("system", "backend", "algorithm", "dataset"):
+        if doc.get(fld):
+            print(f"{fld}: {doc[fld]}")
+    for line in explain_lines(block, top=args.top, sort_by=args.sort):
+        print(line)
+    return 0
+
+
+def _cmd_history(args) -> int:
+    from repro.obs import (
+        diff_manifests,
+        filter_entries,
+        format_history,
+        format_report,
+        read_entries,
+        resolve_ledger_path,
+    )
+
+    path = resolve_ledger_path(args.ledger)
+    if path is None:
+        raise ReproError(
+            "no ledger given: pass --ledger PATH or set REPRO_LEDGER"
+        )
+    entries = filter_entries(
+        read_entries(path), kind=args.kind, dataset=args.dataset,
+        algorithm=args.algorithm, backend=args.backend,
+    )
+    if args.last > 0:
+        entries = entries[-args.last:]
+    if not entries:
+        print("no matching ledger entries")
+        return 1 if args.diff else 0
+    print(format_history(entries), end="")
+    if args.diff:
+        from repro.obs import load_manifest
+
+        golden = load_manifest(args.diff)
+        newest = entries[-1].get("manifest") or {}
+        result = diff_manifests(golden, newest, tolerance=args.tolerance)
+        print()
+        print(format_report(result, args.tolerance), end="")
+        return 0 if result.ok else 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.obs import diff_manifests, format_report, load_manifest
 
@@ -456,6 +618,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "history":
+            return _cmd_history(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "lint":

@@ -23,8 +23,10 @@ __all__ = ["SimReport", "Comparison", "MANIFEST_SCHEMA"]
 #: ``trace_cache`` block (whether the persistent trace store was
 #: consulted and whether it hit). v4 added the ``segmentation``
 #: block (out-of-core streaming provenance) and
-#: ``replay.peak_rss_bytes`` (host RSS high-water mark).
-MANIFEST_SCHEMA = "omega-repro/run-manifest/v4"
+#: ``replay.peak_rss_bytes`` (host RSS high-water mark). v5 added the
+#: ``attribution`` block (per graph-entity/degree-class counter
+#: breakdown; ``None`` when attribution was not requested).
+MANIFEST_SCHEMA = "omega-repro/run-manifest/v5"
 
 
 @dataclass
@@ -67,6 +69,10 @@ class SimReport:
     #: Host peak RSS (bytes) observed after the replay stage, or
     #: ``None`` when :mod:`resource` is unavailable.
     peak_rss_bytes: Optional[int] = None
+    #: Per-class attribution block (see
+    #: :meth:`repro.obs.attribution.AttributionAccumulator.result`),
+    #: or ``None`` when attribution was not requested.
+    attribution: Optional[Dict] = field(repr=False, default=None)
 
     @property
     def cycles(self) -> float:
@@ -192,6 +198,7 @@ class SimReport:
             "energy_nj": self.energy.as_dict(),
             "event_counts": self.stats.as_dict(),
             "telemetry": self.telemetry(),
+            "attribution": self.attribution,
         }
 
     def save_manifest(self, path) -> None:

@@ -44,7 +44,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.config import SimConfig
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
-from repro.graph.reorder import reorder_nth_element
+from repro.graph.degree import degree_classes
+from repro.graph.reorder import nth_element_order, reorder_nth_element
 from repro.algorithms.common import AlgorithmResult, default_source
 from repro.algorithms.registry import run_algorithm
 from repro.core.offload import microcode_for_algorithm
@@ -64,12 +65,18 @@ from repro.memsim.engine import (
 from repro.memsim.mapping import ScratchpadMapping
 from repro.memsim.scratchpad import hot_capacity_for
 from repro.obs import (
+    AttributionAccumulator,
+    AttributionSpec,
     ReplaySampler,
     SpanTracer,
+    append_entry,
     get_registry,
     get_tracer,
+    make_entry,
+    resolve_ledger_path,
     use_tracer,
 )
+from repro.obs.attribution import FIELDS as ATTRIBUTION_FIELDS
 from repro.store import TraceStore, resolve_store, trace_key
 
 __all__ = [
@@ -91,6 +98,11 @@ DEFAULT_CHUNK_SIZE = 32
 #: a positive integer turns on out-of-core streaming for every run in
 #: the process (the CLI flag ``--segment-events`` still wins).
 ENV_SEGMENT_EVENTS = "REPRO_SEGMENT_EVENTS"
+
+#: Environment fallback for ``run_system(..., attribution=...)``: a
+#: truthy value ("1", "true", "on", "yes") turns on per-class traffic
+#: attribution for every run in the process.
+ENV_ATTRIBUTION = "REPRO_ATTRIBUTION"
 
 #: Report labels for backends whose name differs from the config name.
 _BACKEND_LABELS = {
@@ -216,6 +228,47 @@ def _resolve_segment_events(segment_events: Optional[int]) -> Optional[int]:
     if segment_events is None or int(segment_events) <= 0:
         return None
     return int(segment_events)
+
+
+def _resolve_attribution(attribution: Optional[bool]) -> bool:
+    """Fold the explicit argument with ``REPRO_ATTRIBUTION``."""
+    if attribution is not None:
+        return bool(attribution)
+    env = os.environ.get(ENV_ATTRIBUTION, "").strip().lower()
+    return env in ("1", "true", "on", "yes")
+
+
+def _attribution_spec(
+    graph: CSRGraph, bundle: "_TraceBundle", reorder: bool
+) -> AttributionSpec:
+    """Build the run's attribution spec from the graph and its trace.
+
+    The degree strata are computed on the *original* graph and, when
+    the run reordered, permuted into trace id space with the same
+    nth-element order the reorder applied — recomputed here from the
+    degree vector, so warm store hits (which skip the reorder entirely)
+    classify identically to cold runs.
+    """
+    source = bundle.trace if bundle.trace is not None else bundle.segments
+    regions = tuple(getattr(source, "regions", ()) or ())
+    deg = graph.in_degrees()
+    vclass = degree_classes(deg)
+    if reorder and len(vclass):
+        vclass = vclass[nth_element_order(deg)]
+    counts = [int((vclass == c).sum()) for c in range(3)]
+    return AttributionSpec(
+        regions=regions,
+        vertex_classes=vclass,
+        meta={
+            "degree_key": "in",
+            "hub_fraction": 0.20,
+            "torso_fraction": 0.30,
+            "reorder": _REORDER_RECIPE if reorder else None,
+            "hub_vertices": counts[0],
+            "torso_vertices": counts[1],
+            "tail_vertices": counts[2],
+        },
+    )
 
 
 def _peak_rss_bytes() -> Optional[int]:
@@ -473,6 +526,7 @@ def _replay_bundle(
     pim,
     sampler: Optional[ReplaySampler],
     tracer,
+    attribution_acc: Optional[AttributionAccumulator] = None,
 ) -> SimReport:
     """Replay a prepared trace through one backend and build the report."""
     with tracer.span("prepare_backend", cat="run", backend=backend_name):
@@ -526,10 +580,27 @@ def _replay_bundle(
 
     replay_start = time.perf_counter()
     if bundle.segments is not None:
-        output = hierarchy.replay_segments(bundle.segments, sampler=sampler)
+        output = hierarchy.replay_segments(
+            bundle.segments, sampler=sampler, attribution=attribution_acc
+        )
     else:
-        output = hierarchy.replay(bundle.trace, sampler=sampler)
+        output = hierarchy.replay(
+            bundle.trace, sampler=sampler, attribution=attribution_acc
+        )
     replay_seconds = time.perf_counter() - replay_start
+    attribution_block = None
+    if attribution_acc is not None:
+        # The conservation invariant is load-bearing: a mismatch means
+        # the attribution (or the accounting it mirrors) miscounted.
+        attribution_acc.verify(output.stats, bundle.num_events)
+        attribution_block = attribution_acc.result()
+        if tracer.enabled:
+            per_class = attribution_acc.per_class()
+            for fld in ATTRIBUTION_FIELDS:
+                tracer.counter(
+                    f"attribution.{fld}",
+                    {name: per_class[name][fld] for name in per_class},
+                )
     with tracer.span("timing_energy", cat="run"):
         timing = compute_timing(output, config)
         model = energy_model or EnergyModel()
@@ -558,6 +629,7 @@ def _replay_bundle(
         num_segments=output.num_segments,
         streamed=bundle.segments is not None,
         peak_rss_bytes=_peak_rss_bytes(),
+        attribution=attribution_block,
     )
     _LOG.info(
         "run complete: %.0f cycles, bottleneck=%s, replay %.3fs",
@@ -590,6 +662,9 @@ def run_system(
     obs_window: Optional[int] = None,
     cache=None,
     segment_events: Optional[int] = None,
+    attribution: Optional[bool] = None,
+    attribution_path=None,
+    ledger_path=None,
     **alg_kwargs,
 ) -> SimReport:
     """Run one algorithm on one graph through one system configuration.
@@ -664,6 +739,24 @@ def run_system(
         time. Simulated counters are bit-identical to the in-core run;
         ``None`` or a non-positive value keeps the default whole-trace
         path.
+    attribution:
+        Fold per-class traffic attribution during the replay: every
+        event resolves to its graph entity (vertex properties by degree
+        stratum, CSR offsets/edges, frontier) and the per-class
+        counters — conserved bit-identically against the aggregate
+        ``MemStats`` — land in the manifest's ``attribution`` block and
+        (when tracing) as Perfetto counter tracks. Defaults to the
+        ``REPRO_ATTRIBUTION`` environment variable.
+    attribution_path:
+        When given, write the attribution block as standalone JSON
+        there (implies ``attribution=True`` unless explicitly
+        disabled).
+    ledger_path:
+        When given (or when the ``REPRO_LEDGER`` environment variable
+        names a file), append one run-ledger entry — the manifest keyed
+        by trace-store key, config hash, and git revision — to that
+        JSONL file after the run (see :mod:`repro.obs.ledger` and
+        ``repro history``).
     alg_kwargs:
         Extra arguments for the algorithm runner (source vertex, etc.).
     """
@@ -676,6 +769,10 @@ def run_system(
     _pin_source(graph, algorithm, alg_kwargs)
     store = resolve_store(cache)
     segment_events = _resolve_segment_events(segment_events)
+    if attribution is None and attribution_path is not None:
+        attribution = True
+    want_attribution = _resolve_attribution(attribution)
+    ledger_path = resolve_ledger_path(ledger_path)
 
     # Observability setup: reuse an installed tracer, or spin up a
     # private one when a trace file was requested; sample the replay
@@ -700,10 +797,16 @@ def run_system(
             store, tracer, alg_kwargs, segment_events=segment_events,
         )
         try:
+            attribution_acc = None
+            if want_attribution:
+                with tracer.span("attribution_spec", cat="run"):
+                    attribution_acc = AttributionAccumulator(
+                        _attribution_spec(graph, bundle, reorder)
+                    )
             report = _replay_bundle(
                 bundle, algorithm, config, backend_name, backend_cls,
                 dataset, chunk_size, sp_chunk_size, energy_model, pim,
-                sampler, tracer,
+                sampler, tracer, attribution_acc=attribution_acc,
             )
         finally:
             bundle.cleanup()
@@ -723,8 +826,20 @@ def run_system(
             "wrote %d-window timeline to %s",
             report.timeline.num_windows, timeline_path,
         )
+    if attribution_path is not None and report.attribution is not None:
+        import json
+
+        parent = os.path.dirname(os.fspath(attribution_path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(attribution_path, "w") as f:
+            json.dump(report.attribution, f, indent=2, sort_keys=True)
+        _LOG.info("wrote attribution breakdown to %s", attribution_path)
     if manifest_path is not None:
         report.save_manifest(manifest_path)
+    if ledger_path is not None:
+        append_entry(ledger_path, make_entry(report.manifest(), kind="run"))
+        _LOG.info("appended run-ledger entry to %s", ledger_path)
     return report
 
 

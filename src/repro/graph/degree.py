@@ -27,6 +27,7 @@ __all__ = [
     "GraphCharacterization",
     "characterize",
     "degree_histogram",
+    "degree_classes",
     "power_law_exponent",
 ]
 
@@ -80,6 +81,59 @@ def degree_histogram(degrees: np.ndarray) -> np.ndarray:
     if len(deg) == 0:
         return np.zeros(0, dtype=np.int64)
     return np.bincount(deg)
+
+
+def _select_top_k(deg: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` most-connected entries.
+
+    Tie-breaking at the threshold degree is *identical* to the
+    nth-element reorder hot set (:func:`repro.graph.reorder.nth_element_order`):
+    every entry strictly above the k-th degree is selected, then ties
+    fill the remaining slots in input order. This keeps the hub class
+    bit-equal to the set of vertices the scratchpad captures.
+    """
+    n = len(deg)
+    kth = np.partition(deg, n - k)[n - k]
+    above = np.flatnonzero(deg > kth)
+    ties = np.flatnonzero(deg == kth)
+    need = k - len(above)
+    return np.concatenate([above, ties[:need]])
+
+
+def degree_classes(
+    degrees: np.ndarray,
+    hub_fraction: float = TOP_VERTEX_FRACTION,
+    torso_fraction: float = 0.30,
+) -> np.ndarray:
+    """Stratify vertices into hub(0) / torso(1) / tail(2) by degree.
+
+    The hub stratum is the top ``hub_fraction`` of vertices by degree —
+    the paper's 80/20 hot set, with nth-element tie-breaking matching
+    the reorder hot side exactly — the torso is the next
+    ``torso_fraction`` among the remainder, and everything else is
+    tail. Returns an ``int8`` array of length ``len(degrees)``.
+    """
+    if not 0.0 < hub_fraction <= 1.0:
+        raise GraphError(f"hub_fraction must be in (0, 1], got {hub_fraction}")
+    if not 0.0 <= torso_fraction <= 1.0:
+        raise GraphError(
+            f"torso_fraction must be in [0, 1], got {torso_fraction}"
+        )
+    deg = np.asarray(degrees, dtype=np.int64)
+    n = len(deg)
+    classes = np.full(n, 2, dtype=np.int8)
+    if n == 0:
+        return classes
+    k_hub = max(1, int(np.ceil(hub_fraction * n)))
+    hub = _select_top_k(deg, k_hub)
+    classes[hub] = 0
+    rest_mask = np.ones(n, dtype=bool)
+    rest_mask[hub] = False
+    rest = np.flatnonzero(rest_mask)
+    k_torso = min(int(np.ceil(torso_fraction * n)), len(rest))
+    if k_torso > 0:
+        classes[rest[_select_top_k(deg[rest], k_torso)]] = 1
+    return classes
 
 
 def power_law_exponent(degrees: np.ndarray, d_min: int = 1) -> float:

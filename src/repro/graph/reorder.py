@@ -33,6 +33,7 @@ __all__ = [
     "reorder_by_degree",
     "reorder_top_fraction",
     "reorder_nth_element",
+    "nth_element_order",
     "slashburn_order",
     "reorder_slashburn",
     "apply_order",
@@ -99,6 +100,38 @@ def reorder_top_fraction(
     return apply_order(graph, np.concatenate([head, tail]))
 
 
+def nth_element_order(
+    degrees: np.ndarray, fraction: float = 0.20
+) -> np.ndarray:
+    """The nth-element partition order over a degree vector.
+
+    Returns the permutation (original ids, hot side first) that
+    :func:`reorder_nth_element` applies: every vertex before the
+    ``fraction`` mark has degree >= every vertex after it, both sides
+    kept in input order, ties at the threshold filled in input order.
+    Exposed standalone so consumers that only need the *order* — e.g.
+    attribution's hub/torso/tail classes for an already-relabeled
+    trace — can recompute it without touching the graph.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise GraphError(f"fraction must be in (0, 1], got {fraction}")
+    deg = np.asarray(degrees, dtype=np.int64)
+    n = len(deg)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    k = max(1, int(np.ceil(fraction * n)))
+    # Degree threshold of the k-th most-connected vertex.
+    kth = np.partition(deg, n - k)[n - k]
+    above = np.flatnonzero(deg > kth)
+    ties = np.flatnonzero(deg == kth)
+    # Fill the hot side up to k with tie vertices in input order.
+    need = k - len(above)
+    hot = np.sort(np.concatenate([above, ties[:need]]))
+    cold_mask = np.ones(n, dtype=bool)
+    cold_mask[hot] = False
+    return np.concatenate([hot, np.flatnonzero(cold_mask)])
+
+
 def reorder_nth_element(
     graph: CSRGraph, key: str = "in", fraction: float = 0.20
 ) -> Tuple[CSRGraph, np.ndarray]:
@@ -112,23 +145,12 @@ def reorder_nth_element(
     matters for the non-power-law road graphs, whose grid-adjacent ids
     are the source of their cache friendliness.
     """
-    if not 0.0 < fraction <= 1.0:
-        raise GraphError(f"fraction must be in (0, 1], got {fraction}")
     n = graph.num_vertices
     if n == 0:
+        if not 0.0 < fraction <= 1.0:
+            raise GraphError(f"fraction must be in (0, 1], got {fraction}")
         return graph, np.zeros(0, dtype=np.int64)
-    k = max(1, int(np.ceil(fraction * n)))
-    deg = _degrees(graph, key)
-    # Degree threshold of the k-th most-connected vertex.
-    kth = np.partition(deg, n - k)[n - k]
-    above = np.flatnonzero(deg > kth)
-    ties = np.flatnonzero(deg == kth)
-    # Fill the hot side up to k with tie vertices in input order.
-    need = k - len(above)
-    hot = np.sort(np.concatenate([above, ties[:need]]))
-    cold_mask = np.ones(n, dtype=bool)
-    cold_mask[hot] = False
-    order = np.concatenate([hot, np.flatnonzero(cold_mask)])
+    order = nth_element_order(_degrees(graph, key), fraction)
     return apply_order(graph, order)
 
 

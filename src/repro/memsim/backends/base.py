@@ -48,6 +48,11 @@ class HierarchyBackend:
     #: loop even when the config qualifies for the batch kernel.
     force_scalar_cache = False
 
+    #: Off-chip bytes charged per in-memory atomic (non-zero only for
+    #: PIM-style backends); read by the attribution accumulator so its
+    #: per-class DRAM folds mirror the backend's accounting.
+    pim_bytes_per_op = 0
+
     def __init__(self, config: SimConfig) -> None:
         self.config = config
         self.dram_random_ranges = ()
@@ -90,17 +95,18 @@ class HierarchyBackend:
 
     # -- the engine ----------------------------------------------------
     def replay(self, trace: Trace,
-               sampler: Optional[ReplaySampler] = None) -> ReplayOutput:
+               sampler: Optional[ReplaySampler] = None,
+               attribution=None) -> ReplayOutput:
         """Replay ``trace``: pre-pass, route, cache stage, accounting.
 
         Delegates to :func:`repro.memsim.replay.run_replay`; see its
-        docstring for the windowed-sampling contract.
+        docstring for the windowed-sampling and attribution contracts.
         """
-        return run_replay(self, trace, sampler)
+        return run_replay(self, trace, sampler, attribution)
 
     def replay_segments(self, segments,
                         sampler: Optional[ReplaySampler] = None,
-                        ) -> ReplayOutput:
+                        attribution=None) -> ReplayOutput:
         """Replay a segmented trace stream with bounded resident memory.
 
         ``segments`` is a :class:`repro.ligra.segments.SegmentedTrace`
@@ -108,4 +114,4 @@ class HierarchyBackend:
         :meth:`replay` over the materialized trace; see
         :func:`repro.memsim.replay.run_replay_segments`.
         """
-        return run_replay_segments(self, segments, sampler)
+        return run_replay_segments(self, segments, sampler, attribution)

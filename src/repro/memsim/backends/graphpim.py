@@ -59,6 +59,7 @@ class GraphPimBackend(HierarchyBackend):
             )
         super().__init__(config)
         self.pim = pim or PimConfig()
+        self.pim_bytes_per_op = self.pim.bytes_per_op
 
     def prepare(self, ctx: ReplayContext) -> None:
         ctx.extra["pim_busy"] = [0] * self.pim.units

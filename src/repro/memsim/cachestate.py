@@ -54,6 +54,7 @@ from repro.memsim.prepass import StreamDetector
 from repro.memsim.stats import MemStats
 
 __all__ = [
+    "CacheRecord",
     "CacheSystem",
     "SCALAR_CACHE_ENV",
     "iter_set_bits",
@@ -68,6 +69,32 @@ SCALAR_CACHE_ENV = "REPRO_SCALAR_CACHE"
 def scalar_cache_forced() -> bool:
     """Whether ``REPRO_SCALAR_CACHE=1`` selects the scalar oracle."""
     return os.environ.get(SCALAR_CACHE_ENV, "") == "1"
+
+
+class CacheRecord:
+    """Per-event outcome columns of one cache batch (attribution).
+
+    Optional observability sidecar of :meth:`CacheSystem.replay_cache_path`:
+    when passed, both execution paths fill one row per event at the
+    exact counter-increment sites, so column sums reproduce the batch's
+    ``MemStats`` deltas bit-identically. Screened guaranteed hits never
+    enter the serialized loop, which is why ``l1_hit`` *defaults* to
+    True — only the miss path flips it.
+
+    ``writebacks`` counts dirty-line DRAM write-backs *triggered by*
+    the event (an L1-victim's L2 insertion plus the demand miss's own
+    L2 eviction can both fire, so the count reaches 2); each one is
+    ``line_bytes`` of DRAM write traffic.
+    """
+
+    __slots__ = ("l1_hit", "l2_hit", "l2_miss", "prefetch", "writebacks")
+
+    def __init__(self, n: int) -> None:
+        self.l1_hit = np.ones(n, dtype=bool)
+        self.l2_hit = np.zeros(n, dtype=bool)
+        self.l2_miss = np.zeros(n, dtype=bool)
+        self.prefetch = np.zeros(n, dtype=bool)
+        self.writebacks = np.zeros(n, dtype=np.int64)
 
 
 def iter_set_bits(mask: int) -> Iterator[int]:
@@ -303,13 +330,16 @@ class CacheSystem:
         atomics: np.ndarray,
         mem_lat: List[float],
         serial: List[float],
+        record: "CacheRecord" = None,
     ) -> None:
         """Replay every cache-routed event (arrays already subset-sliced).
 
         Per-core memory-latency and serialization sums accumulate into
         ``mem_lat``/``serial``; atomic events get the core-executed
         split (``atomic_serialization`` of the latency serializes, plus
-        the fixed stall).
+        the fixed stall). ``record`` (a :class:`CacheRecord` sized to
+        the batch) additionally captures per-event outcomes for traffic
+        attribution; both paths fill it at the counter-increment sites.
         """
         if len(cores) == 0:
             return
@@ -320,7 +350,7 @@ class CacheSystem:
                 np.asarray(addrs, dtype=np.int64).tolist(),
                 np.asarray(writes).tolist(),
                 np.asarray(atomics).tolist(),
-                mem_lat, serial,
+                mem_lat, serial, record,
             )
             return
         lats = self._replay_kernel(
@@ -330,6 +360,7 @@ class CacheSystem:
             np.asarray(banks, dtype=np.int64),
             np.asarray(bank_keys, dtype=np.int64),
             np.asarray(writes, dtype=bool),
+            record,
         )
         # Latency accounting happens vectorized, after the loop: the
         # atomic split and per-core sums fold via bincount.
@@ -356,15 +387,39 @@ class CacheSystem:
             serial[:] = ser_sums.tolist()
 
     def _replay_generic(self, cores, addrs, writes, atomics,
-                        mem_lat, serial) -> None:
-        """Scalar oracle: per-event :meth:`access` (seed semantics)."""
+                        mem_lat, serial, record=None) -> None:
+        """Scalar oracle: per-event :meth:`access` (seed semantics).
+
+        With ``record`` set, per-event outcomes are recovered by
+        differencing the stats counters around each access — the
+        oracle-side twin of the kernel's in-loop capture, guaranteed
+        to match the aggregate increments by construction.
+        """
         stats = self.stats
         access = self.access
         core_cfg = self.config.core
         atomic_stall = core_cfg.atomic_stall_cycles
         atomic_ser = core_cfg.atomic_serialization
+        line_bytes = self.line_bytes
+        i = -1
         for core, addr, write, atomic in zip(cores, addrs, writes, atomics):
+            i += 1
+            if record is not None:
+                p_l1m = stats.l1_misses
+                p_l2h = stats.l2_hits
+                p_l2m = stats.l2_misses
+                p_pref = stats.prefetch_hits
+                p_dw = stats.dram_write_bytes
             latency = access(core, addr, write)
+            if record is not None:
+                if stats.l1_misses != p_l1m:
+                    record.l1_hit[i] = False
+                record.l2_hit[i] = stats.l2_hits != p_l2h
+                record.l2_miss[i] = stats.l2_misses != p_l2m
+                record.prefetch[i] = stats.prefetch_hits != p_pref
+                record.writebacks[i] = (
+                    (stats.dram_write_bytes - p_dw) // line_bytes
+                )
             if atomic:
                 stats.atomics_total += 1
                 stats.atomics_on_cores += 1
@@ -373,7 +428,8 @@ class CacheSystem:
             else:
                 mem_lat[core] += latency
 
-    def _replay_kernel(self, cores, addrs, lines, banks, bank_keys, writes):
+    def _replay_kernel(self, cores, addrs, lines, banks, bank_keys, writes,
+                       record=None):
         """Screened batch kernel: numpy for guaranteed hits, a
         serialized loop for the residual.
 
@@ -383,8 +439,9 @@ class CacheSystem:
         to the model objects once at the end. Guaranteed hits
         (:func:`screen_guaranteed_hits`) never enter the loop: their
         latency is prefilled with the L1 latency and their effects are
-        provably nil. Returns the per-event latency list for the whole
-        batch; the caller folds it into the per-core sums vectorized.
+        provably nil — which is also why ``record`` rows default to
+        "L1 hit, nothing else": only the residual miss path writes
+        outcome rows, at the same sites the counters increment.
         """
         config = self.config
         ncores = self.ncores
@@ -526,6 +583,14 @@ class CacheSystem:
                 rowm += 1
                 open_rows[ch] = row
 
+        rec_on = record is not None
+        if rec_on:
+            r_l1 = record.l1_hit
+            r_l2h = record.l2_hit
+            r_l2m = record.l2_miss
+            r_pref = record.prefetch
+            r_wb = record.writebacks
+
         # Guaranteed hits cost exactly the L1 latency; the loop only
         # overwrites residual events' entries.
         lats = [l1_lat] * n
@@ -570,6 +635,8 @@ class CacheSystem:
             else:
                 latency = l1_lat
                 l1m[core] += 1
+                if rec_on:
+                    r_l1[keep_l[i]] = False
                 dirty_victim = -1
                 if len(s) >= l1_ways:
                     victim_line, was_dirty = s.popitem(last=False)
@@ -639,6 +706,8 @@ class CacheSystem:
                                 l2de[vbank] += 1
                                 dram_wacc += 1
                                 s_dram_wr += line_bytes
+                                if rec_on:
+                                    r_wb[keep_l[i]] += 1
                                 if track_rows:
                                     victim_write(
                                         ((v2 << bank_bits) | vbank)
@@ -667,6 +736,8 @@ class CacheSystem:
                     if write:
                         s2[bank_key] = True
                     s_l2_hits += 1
+                    if rec_on:
+                        r_l2h[keep_l[i]] = True
                 else:
                     l2m[bank] += 1
                     dirty2 = -1
@@ -680,6 +751,8 @@ class CacheSystem:
                     s_l2_misses += 1
                     s_dram_rd += line_bytes
                     dram_racc += 1
+                    if rec_on:
+                        r_l2m[keep_l[i]] = True
                     if track_rows:
                         if rand_l[i]:
                             latency += dram_lat
@@ -698,6 +771,8 @@ class CacheSystem:
                     if dirty2 >= 0:
                         dram_wacc += 1
                         s_dram_wr += line_bytes
+                        if rec_on:
+                            r_wb[keep_l[i]] += 1
                         if track_rows:
                             victim_write(
                                 ((dirty2 << bank_bits) | bank) << line_bits
@@ -722,6 +797,8 @@ class CacheSystem:
                     else:
                         ws.append(slot)
                     s_pref += 1
+                    if rec_on:
+                        r_pref[keep_l[i]] = True
                     latency = pref_lat
                 else:
                     slot = p_next[core]

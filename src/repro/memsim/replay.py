@@ -35,7 +35,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.ligra.trace import Trace
 from repro.memsim.cache import Cache
-from repro.memsim.cachestate import CacheSystem
+from repro.memsim.cachestate import CacheRecord, CacheSystem
 from repro.memsim.coherence import Directory
 from repro.memsim.dram import DramModel
 from repro.memsim.interconnect import Crossbar
@@ -66,6 +66,10 @@ class ReplayOutput:
     piscs: Optional[List[PiscEngine]] = None
     #: Number of segments the driver consumed (1 for in-core replay).
     num_segments: int = 1
+    #: The per-class attribution accumulator the replay folded into
+    #: (:class:`repro.obs.attribution.AttributionAccumulator`), when
+    #: attribution was requested.
+    attribution: Optional[object] = None
 
 
 class _InCoreSource:
@@ -109,7 +113,8 @@ class _SegmentedSource:
 
 
 def run_replay(backend, trace: Trace,
-               sampler: Optional[ReplaySampler] = None) -> ReplayOutput:
+               sampler: Optional[ReplaySampler] = None,
+               attribution=None) -> ReplayOutput:
     """Replay an in-core ``trace`` through ``backend``.
 
     ``sampler`` (a :class:`repro.obs.ReplaySampler`) switches the
@@ -120,13 +125,19 @@ def run_replay(backend, trace: Trace,
     the per-core float latency sums, which accumulate through the
     order-invariant :class:`~repro.memsim.accounting.LatencyLedger` —
     are identical to the unwindowed replay.
+
+    ``attribution`` (a
+    :class:`repro.obs.attribution.AttributionAccumulator`) folds every
+    event's counters into per-class totals alongside the aggregate
+    accounting; the folds are integer reductions per segment, so they
+    conserve exactly and are invariant to segmentation and windowing.
     """
-    return _run(backend, _InCoreSource(trace), sampler)
+    return _run(backend, _InCoreSource(trace), sampler, attribution)
 
 
 def run_replay_segments(backend, segments,
                         sampler: Optional[ReplaySampler] = None,
-                        ) -> ReplayOutput:
+                        attribution=None) -> ReplayOutput:
     """Replay a :class:`~repro.ligra.segments.SegmentedTrace` stream.
 
     Segments are consumed strictly one at a time — resident memory is
@@ -134,12 +145,15 @@ def run_replay_segments(backend, segments,
     piece of simulator state carries across boundaries, so the
     counters are bit-identical to ``run_replay`` over the materialized
     trace. Requires an interleaved archive (what the spooling builder
-    and the trace store produce).
+    and the trace store produce). ``attribution`` folds per-class
+    counters one segment at a time (see :func:`run_replay`) with
+    totals bit-identical to the in-core fold.
     """
-    return _run(backend, _SegmentedSource(segments), sampler)
+    return _run(backend, _SegmentedSource(segments), sampler, attribution)
 
 
-def _run(backend, source, sampler: Optional[ReplaySampler]) -> ReplayOutput:
+def _run(backend, source, sampler: Optional[ReplaySampler],
+         attribution=None) -> ReplayOutput:
     """The engine template, shared by in-core and streamed replay."""
     from repro.memsim.accounting import LatencyLedger, ReplayContext
 
@@ -171,6 +185,11 @@ def _run(backend, source, sampler: Optional[ReplaySampler]) -> ReplayOutput:
                 total, ncores, core.compute_cycles_per_access, core.mlp,
                 core.imbalance_factor, core.freq_ghz,
             )
+        if attribution is not None:
+            attribution.begin(
+                line_bytes=config.l1.line_bytes,
+                pim_bytes_per_op=backend.pim_bytes_per_op,
+            )
         counts = np.zeros(ncores, dtype=np.int64)
         cache_events = 0
         num_segments = 0
@@ -193,10 +212,31 @@ def _run(backend, source, sampler: Optional[ReplaySampler]) -> ReplayOutput:
                 counts += np.bincount(
                     np.asarray(seg.core, dtype=np.int64), minlength=ncores
                 )
+                classes = None
+                if attribution is not None:
+                    # Non-cache families fold once per segment on the
+                    # full (unmasked) routes; windowed accounting masks
+                    # per window, but the union over a segment's
+                    # windows is exactly these routes, so each event
+                    # folds exactly once either way. The locality mask
+                    # is read *after* route(), which is where dynamic
+                    # backends publish their per-segment override.
+                    classes = attribution.classify(seg)
+                    local = (
+                        ctx.sp_local if ctx.sp_local is not None
+                        else prepass.local
+                    )
+                    attribution.fold_routes(
+                        classes, routes, prepass.atomic, local
+                    )
                 if not window:
                     with tracer.span("cache_path", cat="replay",
                                      events=len(cache_idx)):
                         if len(cache_idx):
+                            record = (
+                                CacheRecord(len(cache_idx))
+                                if attribution is not None else None
+                            )
                             system.replay_cache_path(
                                 seg.core[cache_idx],
                                 seg.addr[cache_idx],
@@ -207,13 +247,21 @@ def _run(backend, source, sampler: Optional[ReplaySampler]) -> ReplayOutput:
                                 prepass.atomic[cache_idx],
                                 ledger.mem["cache"],
                                 ledger.serial["cache"],
+                                record=record,
                             )
+                            if record is not None:
+                                attribution.fold_cache(
+                                    classes[cache_idx],
+                                    prepass.atomic[cache_idx],
+                                    record,
+                                )
                     with tracer.span("account", cat="replay"):
                         backend.account(ctx, seg, prepass, routes)
                 else:
                     win_wall = _run_windowed_segment(
                         backend, ctx, seg, prepass, routes, cache_idx,
                         sampler, tracer, offset, total, window, win_wall,
+                        attribution=attribution, classes=classes,
                     )
 
         metrics.counter("replay.events").inc(total)
@@ -245,6 +293,7 @@ def _run(backend, source, sampler: Optional[ReplaySampler]) -> ReplayOutput:
             srcbufs=ctx.srcbufs,
             piscs=ctx.piscs,
             num_segments=max(num_segments, 1),
+            attribution=attribution,
         )
 
 
@@ -261,6 +310,8 @@ def _run_windowed_segment(
     total: int,
     window: int,
     win_wall: float,
+    attribution=None,
+    classes: Optional[np.ndarray] = None,
 ) -> float:
     """Windowed cache stage + accounting over one segment.
 
@@ -288,6 +339,10 @@ def _run_windowed_segment(
             )
             sub = cache_idx[ci_lo:ci_hi]
             if len(sub):
+                record = (
+                    CacheRecord(len(sub))
+                    if attribution is not None else None
+                )
                 system.replay_cache_path(
                     seg.core[sub],
                     seg.addr[sub],
@@ -298,7 +353,12 @@ def _run_windowed_segment(
                     prepass.atomic[sub],
                     ctx.ledger.mem["cache"],
                     ctx.ledger.serial["cache"],
+                    record=record,
                 )
+                if record is not None:
+                    attribution.fold_cache(
+                        classes[sub], prepass.atomic[sub], record,
+                    )
             backend.account(
                 ctx, seg, prepass, windowed.fill(lo - offset, hi - offset)
             )

@@ -18,6 +18,24 @@ Plus the regression gate built on top of the manifests
 package's logging setup (:mod:`repro.obs.logsetup`).
 """
 
+from repro.obs.attribution import (
+    ATTRIBUTED_FIELDS,
+    ATTRIBUTION_SCHEMA,
+    CLASS_NAMES,
+    AttributionAccumulator,
+    AttributionSpec,
+    explain_lines,
+)
+from repro.obs.ledger import (
+    ENV_LEDGER,
+    LEDGER_SCHEMA,
+    append_entry,
+    filter_entries,
+    format_history,
+    make_entry,
+    read_entries,
+    resolve_ledger_path,
+)
 from repro.obs.logsetup import LOG_LEVELS, configure_logging
 from repro.obs.manifest_diff import (
     TRACKED_METRICS,
@@ -43,6 +61,7 @@ from repro.obs.metrics import (
 from repro.obs.timeline import ReplaySampler, Timeline, TIMELINE_SCHEMA
 from repro.obs.tracer import (
     NULL_TRACER,
+    CounterRecord,
     NullTracer,
     SpanRecord,
     SpanTracer,
@@ -52,6 +71,20 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "ATTRIBUTED_FIELDS",
+    "ATTRIBUTION_SCHEMA",
+    "CLASS_NAMES",
+    "AttributionAccumulator",
+    "AttributionSpec",
+    "explain_lines",
+    "ENV_LEDGER",
+    "LEDGER_SCHEMA",
+    "append_entry",
+    "filter_entries",
+    "format_history",
+    "make_entry",
+    "read_entries",
+    "resolve_ledger_path",
     "LOG_LEVELS",
     "configure_logging",
     "TRACKED_METRICS",
@@ -75,6 +108,7 @@ __all__ = [
     "Timeline",
     "TIMELINE_SCHEMA",
     "NULL_TRACER",
+    "CounterRecord",
     "NullTracer",
     "SpanRecord",
     "SpanTracer",

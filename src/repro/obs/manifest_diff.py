@@ -48,6 +48,31 @@ TRACKED_METRICS: Tuple[Tuple[str, str], ...] = (
 #: Identity fields that must match for a diff to be apples-to-apples.
 _CONTEXT_FIELDS = ("algorithm", "dataset", "backend", "system")
 
+#: Top-level manifest blocks this differ understands. Anything else —
+#: e.g. a block added by a newer schema version, like v5's
+#: ``attribution`` when gating against a v4 golden — is skipped with a
+#: warning instead of failing the gate, so old goldens keep gating new
+#: runs.
+KNOWN_BLOCKS = frozenset(
+    {
+        "schema",
+        "system",
+        "backend",
+        "algorithm",
+        "dataset",
+        "config",
+        "workload",
+        "trace_cache",
+        "replay",
+        "segmentation",
+        "timing",
+        "energy_nj",
+        "event_counts",
+        "telemetry",
+        "attribution",
+    }
+)
+
 
 def load_manifest(path) -> Dict:
     """Read and minimally validate a run-manifest JSON file."""
@@ -113,6 +138,9 @@ class DiffResult:
     deltas: List[MetricDelta]
     #: (field, old value, new value) identity mismatches (warnings).
     mismatches: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Top-level blocks present in either manifest that this differ
+    #: does not understand — skipped with a warning, never an error.
+    unknown_blocks: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -162,7 +190,14 @@ def diff_manifests(old: Dict, new: Dict, tolerance: float = 0.05,
         for fld in _CONTEXT_FIELDS
         if old.get(fld, "") != new.get(fld, "")
     ]
-    return DiffResult(deltas=deltas, mismatches=mismatches)
+    unknown = sorted(
+        {key for doc in (old, new) for key in doc}
+        - KNOWN_BLOCKS
+        - {name.split(".", 1)[0] for name, _ in metrics}
+    )
+    return DiffResult(
+        deltas=deltas, mismatches=mismatches, unknown_blocks=unknown
+    )
 
 
 def format_report(result: DiffResult, tolerance: float) -> str:
@@ -172,6 +207,11 @@ def format_report(result: DiffResult, tolerance: float) -> str:
         lines.append(
             f"warning: comparing different runs: {fld}"
             f" {old_v!r} vs {new_v!r}"
+        )
+    for block in result.unknown_blocks:
+        lines.append(
+            f"warning: skipping unknown manifest block {block!r}"
+            " (schema version difference?)"
         )
     header = f"{'metric':40} {'old':>14} {'new':>14} {'change':>9} status"
     lines.append(header)

@@ -144,7 +144,10 @@ _STAT_FIELDS = (
     "sp_remote_accesses",
     "srcbuf_hits",
     "pisc_ops",
+    "prefetch_hits",
     "atomics_total",
+    "atomics_on_cores",
+    "atomics_offloaded",
     "onchip_line_bytes",
     "onchip_word_bytes",
     "dram_read_bytes",

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 __all__ = [
+    "CounterRecord",
     "SpanRecord",
     "SpanTracer",
     "NullTracer",
@@ -40,6 +41,18 @@ __all__ = [
     "set_tracer",
     "use_tracer",
 ]
+
+
+@dataclass
+class CounterRecord:
+    """One sample of a Perfetto counter track (``ph: "C"``)."""
+
+    name: str
+    #: Timestamp in microseconds since the tracer's epoch.
+    ts_us: float
+    #: Series name -> numeric value; each key renders as one line on
+    #: the counter track.
+    values: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -106,6 +119,7 @@ class SpanTracer:
         self._clock = time.perf_counter
         self._stack: List[int] = []
         self.records: List[SpanRecord] = []
+        self.counters: List[CounterRecord] = []
         self.max_depth = 0
 
     @property
@@ -116,6 +130,25 @@ class SpanTracer:
     def span(self, name: str, cat: str = "run", **args) -> _OpenSpan:
         """Open a span; use as a context manager."""
         return _OpenSpan(self, name, cat, dict(args))
+
+    def counter(self, name: str, values: Dict[str, float],
+                ts_us: Optional[float] = None) -> None:
+        """Record one sample of the ``name`` counter track.
+
+        ``values`` maps series name to numeric value; Perfetto renders
+        each series as one line under a counter track named ``name``.
+        ``ts_us`` (microseconds since the tracer's epoch) defaults to
+        "now", so samples taken after a run still land at the end of
+        the span timeline rather than at time zero.
+        """
+        if ts_us is None:
+            ts_us = (self._clock() - self._epoch) * 1e6
+        self.counters.append(
+            CounterRecord(
+                name=name, ts_us=float(ts_us),
+                values={k: float(v) for k, v in values.items()},
+            )
+        )
 
     # -- span lifecycle (driven by _OpenSpan) --------------------------
     def _open(self, span: _OpenSpan) -> int:
@@ -154,7 +187,9 @@ class SpanTracer:
         Every span becomes one complete ("X") event on a single
         process/thread; viewers reconstruct nesting from timestamp
         containment, and ``args`` carries the explicit depth/parent
-        for offline consumers.
+        for offline consumers. Counter samples export as "C" events,
+        which Perfetto renders as dedicated counter tracks next to
+        the span rows.
         """
         events = []
         for i, r in enumerate(self.records):
@@ -172,6 +207,17 @@ class SpanTracer:
                     "tid": 0,
                     "id": i,
                     "args": args,
+                }
+            )
+        for c in self.counters:
+            events.append(
+                {
+                    "name": c.name,
+                    "ph": "C",
+                    "ts": c.ts_us,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": dict(c.values),
                 }
             )
         return {
@@ -212,10 +258,15 @@ class NullTracer:
 
     enabled = False
     records: List[SpanRecord] = []
+    counters: List[CounterRecord] = []
     max_depth = 0
 
     def span(self, name: str, cat: str = "run", **args) -> _NullSpan:
         return _NULL_SPAN
+
+    def counter(self, name: str, values: Dict[str, float],
+                ts_us: Optional[float] = None) -> None:
+        pass
 
     def to_chrome(self) -> Dict[str, object]:
         return {"traceEvents": [], "displayTimeUnit": "ms"}

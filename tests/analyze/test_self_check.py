@@ -53,9 +53,15 @@ def _rules_fired(root: Path):
 
 
 def test_deleting_a_reported_counter_trips_cnt001(scratch_src):
+    # coherence_invalidations is reported ONLY through as_dict — the
+    # counters the timeline snapshot or the attribution fold also carry
+    # would stay conserved through those surfaces after this tamper.
     stats = scratch_src / "src/repro/memsim/stats.py"
     text = stats.read_text()
-    needle = '            "prefetch_hits": self.prefetch_hits,\n'
+    needle = (
+        '            "coherence_invalidations":'
+        ' self.coherence_invalidations,\n'
+    )
     assert needle in text
     stats.write_text(text.replace(needle, ""))
     assert "CNT001" in _rules_fired(scratch_src)
