@@ -35,6 +35,8 @@ __all__ = [
     "build_grid",
     "run_sweep",
     "run_task",
+    "parse_prune_spec",
+    "prune_reason",
     "save_rows_json",
     "save_rows_csv",
     "SWEEP_ROW_FIELDS",
@@ -58,7 +60,71 @@ SWEEP_ROW_FIELDS = (
     "trace_cache",
     "replay_seconds",
     "run_seconds",
+    "pruned",
 )
+
+#: Comparison operators a prune clause may use, longest first so the
+#: two-character forms win the scan.
+_PRUNE_OPS = (
+    ("<=", lambda a, b: a <= b),
+    (">=", lambda a, b: a >= b),
+    ("<", lambda a, b: a < b),
+    (">", lambda a, b: a > b),
+)
+
+
+def parse_prune_spec(spec: str) -> List[tuple]:
+    """Parse an ``--estimate-prune`` interest band.
+
+    The spec is a comma-separated conjunction of clauses, each
+    ``metric OP value`` with ``OP`` one of ``<``, ``<=``, ``>``,
+    ``>=`` — e.g. ``"l2_hit_rate<0.5,dram_bytes>1e6"``. A sweep cell
+    is *kept* when its predicted metrics satisfy every clause and
+    pruned (replay skipped) otherwise. Metric names are the keys of
+    :meth:`repro.memsim.estimate.ReplayEstimate.as_dict`.
+    """
+    from repro.memsim.estimate import ReplayEstimate
+
+    known = ReplayEstimate().as_dict().keys()
+    rules = []
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        for op, fn in _PRUNE_OPS:
+            if op in clause:
+                metric, _, raw = clause.partition(op)
+                metric = metric.strip()
+                if metric not in known:
+                    raise SimulationError(
+                        f"unknown prune metric {metric!r};"
+                        f" known: {', '.join(sorted(known))}"
+                    )
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise SimulationError(
+                        f"bad prune threshold in {clause!r}"
+                    ) from None
+                rules.append((metric, op, value, fn))
+                break
+        else:
+            raise SimulationError(
+                f"bad prune clause {clause!r} (want 'metric<value' or"
+                " 'metric>value')"
+            )
+    if not rules:
+        raise SimulationError("empty --estimate-prune spec")
+    return rules
+
+
+def prune_reason(metrics: Dict, rules: Sequence[tuple]) -> Optional[str]:
+    """First violated clause, as a human-readable string; None = keep."""
+    for metric, op, value, fn in rules:
+        have = metrics[metric]
+        if not fn(have, value):
+            return f"{metric}={have:g} !{op} {value:g}"
+    return None
 
 
 @dataclass(frozen=True)
@@ -97,18 +163,30 @@ def build_grid(
     ]
 
 
-def run_task(task: SweepTask, cache=None) -> Dict:
+def run_task(task: SweepTask, cache=None, prune: Optional[str] = None) -> Dict:
     """Execute one sweep cell and flatten the report into a row dict.
 
     Module-level (and taking only picklable arguments) so it can cross
     a process boundary; ``cache`` follows
     :func:`repro.store.resolve_store` semantics but must be a path or
     ``None``/``False`` when used with worker processes.
+
+    ``prune`` is an :func:`parse_prune_spec` interest band: when given,
+    the cell is first estimated analytically
+    (:func:`repro.core.system.estimate_system` — exact route shares,
+    reuse-gap cache model, no replay) and skipped when the prediction
+    falls outside the band. A pruned row keeps the identity columns,
+    carries ``pruned`` = the violated clause and ``estimate`` = the
+    full prediction, and leaves the measured columns ``None``.
     """
     import time
 
     from repro.algorithms.registry import ALGORITHMS
-    from repro.core.system import default_backend_config, run_system
+    from repro.core.system import (
+        default_backend_config,
+        estimate_system,
+        run_system,
+    )
     from repro.graph.datasets import load_dataset
 
     info = ALGORITHMS.get(task.algorithm)
@@ -117,6 +195,7 @@ def run_task(task: SweepTask, cache=None) -> Dict:
             f"unknown algorithm {task.algorithm!r};"
             f" available: {', '.join(ALGORITHMS)}"
         )
+    rules = parse_prune_spec(prune) if prune else None
     start = time.perf_counter()
     graph, _spec = load_dataset(
         task.dataset, scale=task.scale, weighted=info.requires_weights
@@ -124,6 +203,39 @@ def run_task(task: SweepTask, cache=None) -> Dict:
     if info.requires_undirected and graph.directed:
         graph = graph.as_undirected()
     config = default_backend_config(task.backend, num_cores=task.num_cores)
+    if rules is not None:
+        est = estimate_system(
+            graph,
+            task.algorithm,
+            config,
+            dataset=task.dataset,
+            backend=task.backend,
+            chunk_size=task.chunk_size,
+            cache=cache,
+        )
+        metrics = est.as_dict()
+        reason = prune_reason(metrics, rules)
+        if reason is not None:
+            return {
+                "dataset": task.dataset,
+                "algorithm": task.algorithm,
+                "backend": task.backend,
+                "scale": task.scale,
+                "num_cores": task.num_cores,
+                "cycles": None,
+                "l2_hit_rate": None,
+                "last_level_hit_rate": None,
+                "onchip_traffic_bytes": None,
+                "dram_bytes": None,
+                "energy_nj": None,
+                "trace_events": est.events,
+                "trace_bytes": None,
+                "trace_cache": "est",
+                "replay_seconds": 0.0,
+                "run_seconds": time.perf_counter() - start,
+                "pruned": reason,
+                "estimate": metrics,
+            }
     report = run_system(
         graph,
         task.algorithm,
@@ -154,13 +266,14 @@ def run_task(task: SweepTask, cache=None) -> Dict:
         "trace_cache": cache_state,
         "replay_seconds": report.replay_seconds,
         "run_seconds": run_seconds,
+        "pruned": "",
     }
 
 
 def _run_task_in_worker(payload) -> Dict:
-    """Worker-side shim: unpack ``(task dict, cache dir)``."""
-    task_dict, cache_dir = payload
-    return run_task(SweepTask(**task_dict), cache=cache_dir)
+    """Worker-side shim: unpack ``(task dict, cache dir, prune spec)``."""
+    task_dict, cache_dir, prune = payload
+    return run_task(SweepTask(**task_dict), cache=cache_dir, prune=prune)
 
 
 def run_sweep(
@@ -168,6 +281,7 @@ def run_sweep(
     workers: int = 1,
     cache=None,
     progress: Optional[Callable[[str], None]] = None,
+    prune: Optional[str] = None,
 ) -> List[Dict]:
     """Run a sweep grid, optionally across worker processes.
 
@@ -177,13 +291,17 @@ def run_sweep(
     directory (or ``None``/``False``); with multiple workers it must
     be a filesystem path, since a live store object cannot cross a
     process boundary — the shared directory is exactly how workers
-    deduplicate generation work.
+    deduplicate generation work. ``prune`` is an estimate-prune spec
+    applied to every cell (see :func:`run_task`); pass it here rather
+    than pre-filtering so pruned cells still appear as rows.
     """
+    if prune:
+        parse_prune_spec(prune)  # fail fast, before any work runs
     tasks = list(tasks)
     if workers <= 1 or len(tasks) <= 1:
         rows = []
         for i, task in enumerate(tasks):
-            rows.append(run_task(task, cache=cache))
+            rows.append(run_task(task, cache=cache, prune=prune))
             if progress is not None:
                 progress(
                     f"[{i + 1}/{len(tasks)}] {task.algorithm}/{task.dataset}"
@@ -199,7 +317,7 @@ def run_sweep(
             " (a store object cannot cross process boundaries)"
         )
     cache_dir = os.fspath(cache) if cache not in (None, False) else cache
-    payloads = [(asdict(task), cache_dir) for task in tasks]
+    payloads = [(asdict(task), cache_dir, prune) for task in tasks]
     rows: List[Optional[Dict]] = [None] * len(tasks)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         done = 0

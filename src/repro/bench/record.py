@@ -20,7 +20,13 @@ from typing import Dict, Optional
 
 from repro.obs.ledger import make_entry
 
-__all__ = ["BENCH_MANIFEST_SCHEMA", "bench_manifest", "record_bench"]
+__all__ = [
+    "BENCH_MANIFEST_SCHEMA",
+    "bench_manifest",
+    "record_bench",
+    "load_bench",
+    "bench_baseline_context",
+]
 
 #: Schema tag of the minimal manifest a bench entry wraps.
 BENCH_MANIFEST_SCHEMA = "omega-repro/bench-manifest/v1"
@@ -68,3 +74,37 @@ def record_bench(name: str, metrics: Dict, repo_root,
         json.dump(entries, f, indent=2, sort_keys=True)
         f.write("\n")
     return path
+
+
+def load_bench(name: str, repo_root) -> list:
+    """Read ``<repo_root>/BENCH_<name>.json`` as a list of entries.
+
+    Returns ``[]`` when the trajectory file is missing or unreadable —
+    benches treat an empty trajectory as "first run" and fall back to
+    their built-in reference constants.
+    """
+    path = os.path.join(os.fspath(repo_root), f"BENCH_{name}.json")
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return []
+    return doc if isinstance(doc, list) else []
+
+
+def bench_baseline_context(name: str, repo_root, key: str) -> Optional[Dict]:
+    """The earliest recorded ``context[key]`` in a bench trajectory.
+
+    Benches use this to seed their reference floor from the ledger
+    itself (the first entry's context travels forward unchanged), so
+    regenerating the trajectory re-anchors cleanly and hand-edited
+    constants cannot silently drift from what was actually measured.
+    Returns ``None`` when the trajectory is empty or no entry carries
+    ``key``.
+    """
+    for entry in load_bench(name, repo_root):
+        manifest = entry.get("manifest", entry)
+        context = manifest.get("context") or {}
+        if key in context:
+            return context[key]
+    return None

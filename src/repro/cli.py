@@ -173,6 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = run inline); workers share the"
              " trace store, so generation work is deduplicated",
     )
+    sweep.add_argument(
+        "--estimate-prune", metavar="SPEC", default=None,
+        help="skip cells whose analytically predicted metrics fall"
+             " outside this interest band before replaying them;"
+             " SPEC is a comma-separated conjunction of clauses like"
+             " 'l2_hit_rate<0.5,dram_bytes>1e6' (metrics are the"
+             " ReplayEstimate.as_dict keys). Pruned cells stay in the"
+             " output with the violated clause and their predictions",
+    )
     sweep.add_argument("--json-out", metavar="PATH", default=None,
                        help="write the sweep rows as JSON to PATH")
     sweep.add_argument("--csv-out", metavar="PATH", default=None,
@@ -432,28 +441,53 @@ def _cmd_sweep(args) -> int:
     )
     rows = run_sweep(
         tasks, workers=args.workers, cache=_resolve_cache(args),
+        prune=args.estimate_prune,
     )
 
-    table = [
-        {
-            "algorithm": r["algorithm"],
-            "dataset": r["dataset"],
-            "backend": r["backend"],
-            "cycles": round(r["cycles"]),
-            "ll hit": round(r["last_level_hit_rate"], 4),
-            "dram bytes": r["dram_bytes"],
-            "energy nj": round(r["energy_nj"], 1),
-            "cache": r["trace_cache"],
-        }
-        for r in rows
-    ]
+    table = []
+    for r in rows:
+        if r.get("pruned"):
+            table.append({
+                "algorithm": r["algorithm"],
+                "dataset": r["dataset"],
+                "backend": r["backend"],
+                "cycles": "pruned",
+                "ll hit": "-",
+                "dram bytes": r["estimate"]["dram_bytes"],
+                "energy nj": "-",
+                "cache": r["trace_cache"],
+            })
+        else:
+            table.append({
+                "algorithm": r["algorithm"],
+                "dataset": r["dataset"],
+                "backend": r["backend"],
+                "cycles": round(r["cycles"]),
+                "ll hit": round(r["last_level_hit_rate"], 4),
+                "dram bytes": r["dram_bytes"],
+                "energy nj": round(r["energy_nj"], 1),
+                "cache": r["trace_cache"],
+            })
     print(format_table(table, "backend sweep"), end="")
+
+    pruned = [r for r in rows if r.get("pruned")]
+    if args.estimate_prune:
+        print(
+            f"estimate-prune: skipped {len(pruned)}/{len(rows)} cells"
+            f" (band: {args.estimate_prune})"
+        )
+        for r in pruned:
+            print(
+                f"  pruned {r['algorithm']}/{r['dataset']}/{r['backend']}:"
+                f" {r['pruned']}"
+            )
 
     # When the grid contains the paper's baseline-vs-OMEGA pair, also
     # print the headline ratios (the Fig 14 view of the same rows).
     if "baseline" in backends and "omega" in backends:
         by_cell = {
-            (r["algorithm"], r["dataset"], r["backend"]): r for r in rows
+            (r["algorithm"], r["dataset"], r["backend"]): r
+            for r in rows if not r.get("pruned")
         }
 
         def ratio(num: float, den: float) -> float:
@@ -462,8 +496,10 @@ def _cmd_sweep(args) -> int:
         ratios = []
         for algorithm in algorithms:
             for dataset in datasets:
-                base = by_cell[(algorithm, dataset, "baseline")]
-                omega = by_cell[(algorithm, dataset, "omega")]
+                base = by_cell.get((algorithm, dataset, "baseline"))
+                omega = by_cell.get((algorithm, dataset, "omega"))
+                if base is None or omega is None:
+                    continue  # one side was pruned; no ratio to print
                 ratios.append(
                     {
                         "algorithm": algorithm,
@@ -541,19 +577,41 @@ def _cmd_explain(args) -> int:
                          " document")
     if doc.get("schema") == ATTRIBUTION_SCHEMA:
         block = doc
+        kern = None
     else:
         block = doc.get("attribution")
-        if not block:
+        kern = (doc.get("replay") or {}).get("kernel")
+        if not block and not kern:
             raise ReproError(
-                f"{args.manifest} carries no attribution block; rerun"
-                " with 'repro run --attribution'"
+                f"{args.manifest} carries no attribution block and no"
+                " kernel telemetry; rerun with 'repro run"
+                " --attribution' (or a v6+ manifest)"
             )
     for fld in ("system", "backend", "algorithm", "dataset"):
         if doc.get(fld):
             print(f"{fld}: {doc[fld]}")
-    for line in explain_lines(block, top=args.top, sort_by=args.sort):
-        print(line)
+    if kern:
+        for line in _kernel_lines(kern):
+            print(line)
+    if block:
+        for line in explain_lines(block, top=args.top, sort_by=args.sort):
+            print(line)
     return 0
+
+
+def _kernel_lines(kern):
+    """Render a manifest's ``replay.kernel`` screening block."""
+    yield "kernel screening:"
+    yield (f"  mode: {kern.get('mode', '?')}"
+           f"  batches: {kern.get('batches', 0)}"
+           f"  events: {kern.get('events', 0)}")
+    gens = kern.get("screened_per_generation") or []
+    yield (f"  screened: {kern.get('screened', 0)}"
+           f" ({100.0 * kern.get('screened_fraction', 0.0):.1f}%)"
+           f" over {len(gens)} generation(s): {gens}")
+    yield (f"  residual: grouped {kern.get('grouped_events', 0)}"
+           f" / serialized {kern.get('serialized_events', 0)}"
+           f" in {kern.get('groups', 0)} group(s)")
 
 
 def _cmd_history(args) -> int:

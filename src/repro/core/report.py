@@ -25,8 +25,12 @@ __all__ = ["SimReport", "Comparison", "MANIFEST_SCHEMA"]
 #: block (out-of-core streaming provenance) and
 #: ``replay.peak_rss_bytes`` (host RSS high-water mark). v5 added the
 #: ``attribution`` block (per graph-entity/degree-class counter
-#: breakdown; ``None`` when attribution was not requested).
-MANIFEST_SCHEMA = "omega-repro/run-manifest/v5"
+#: breakdown; ``None`` when attribution was not requested). v6 added
+#: ``replay.kernel`` (batch-kernel screening telemetry: screened /
+#: grouped / serialized event counts, per-generation screening, and
+#: the execution mode; ``None`` when the run predates the kernel
+#: block).
+MANIFEST_SCHEMA = "omega-repro/run-manifest/v6"
 
 
 @dataclass
@@ -184,6 +188,9 @@ class SimReport:
                     if self.replay_seconds > 0 else 0.0
                 ),
                 "peak_rss_bytes": self.peak_rss_bytes,
+                "kernel": (
+                    self.replay.kernel if self.replay is not None else None
+                ),
             },
             "segmentation": {
                 "streamed": self.streamed,

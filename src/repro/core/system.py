@@ -54,6 +54,7 @@ from repro.ligra.segments import SegmentedTrace, SpoolingTraceBuilder
 from repro.ligra.trace import Trace
 from repro.memsim.core_model import compute_timing
 from repro.memsim.energy import EnergyModel
+from repro.memsim.estimate import ReplayEstimate, estimate_replay
 from repro.memsim.engine import (
     BaselineBackend,
     DynamicScratchpadBackend,
@@ -81,6 +82,7 @@ from repro.store import TraceStore, resolve_store, trace_key
 
 __all__ = [
     "run_system",
+    "estimate_system",
     "run_backends",
     "compare_systems",
     "run_locked_cache",
@@ -513,6 +515,74 @@ def _prepare_trace(
     return bundle
 
 
+def _make_hierarchy(
+    bundle: _TraceBundle,
+    algorithm: str,
+    config: SimConfig,
+    backend_name: str,
+    backend_cls,
+    chunk_size: Optional[int],
+    sp_chunk_size: Optional[int],
+    pim,
+):
+    """Construct the hierarchy backend for one prepared trace.
+
+    Sizes the scratchpad mapping from the trace's vtxProp footprint and
+    compiles PISC microcode where the backend uses it. Shared between
+    the real replay (:func:`_replay_bundle`) and the analytic
+    estimator (:func:`estimate_system`) so both see the exact same
+    machine. Returns ``(hierarchy, hot_capacity)``.
+    """
+    hot_capacity = 0
+    mapping = None
+    if backend_name in _HOT_SET_BACKENDS:
+        sp_bytes = config.scratchpad_total_bytes
+        if backend_name == "locked" and not sp_bytes:
+            # The locked region repurposes half the on-chip
+            # storage, exactly like OMEGA's scratchpads.
+            sp_bytes = config.total_onchip_bytes // 2
+        hot_capacity = hot_capacity_for(
+            sp_bytes,
+            bundle.bytes_per_vertex,
+            bundle.num_vertices,
+        )
+        if backend_name != "dynamic":
+            mapping = ScratchpadMapping(
+                num_cores=config.core.num_cores,
+                hot_capacity=hot_capacity,
+                chunk_size=(
+                    sp_chunk_size if sp_chunk_size is not None
+                    else chunk_size
+                ),
+            )
+
+    microcode = None
+    if backend_name in ("omega", "dynamic") and config.use_pisc:
+        microcode = microcode_for_algorithm(algorithm)
+
+    if backend_name == "baseline":
+        hierarchy = BaselineBackend(
+            config, dram_random_ranges=bundle.vtx_ranges
+        )
+    elif backend_name == "omega":
+        hierarchy = OmegaBackend(
+            config, mapping, microcode,
+            dram_random_ranges=bundle.vtx_ranges,
+        )
+    elif backend_name == "locked":
+        hierarchy = LockedCacheBackend(config, mapping)
+    elif backend_name == "graphpim":
+        hierarchy = GraphPimBackend(config, pim)
+    elif backend_name == "dynamic":
+        hierarchy = DynamicScratchpadBackend(
+            config, hot_capacity, microcode
+        )
+    else:
+        # Extension backends take just the config.
+        hierarchy = backend_cls(config)
+    return hierarchy, hot_capacity
+
+
 def _replay_bundle(
     bundle: _TraceBundle,
     algorithm: str,
@@ -530,53 +600,10 @@ def _replay_bundle(
 ) -> SimReport:
     """Replay a prepared trace through one backend and build the report."""
     with tracer.span("prepare_backend", cat="run", backend=backend_name):
-        hot_capacity = 0
-        mapping = None
-        if backend_name in _HOT_SET_BACKENDS:
-            sp_bytes = config.scratchpad_total_bytes
-            if backend_name == "locked" and not sp_bytes:
-                # The locked region repurposes half the on-chip
-                # storage, exactly like OMEGA's scratchpads.
-                sp_bytes = config.total_onchip_bytes // 2
-            hot_capacity = hot_capacity_for(
-                sp_bytes,
-                bundle.bytes_per_vertex,
-                bundle.num_vertices,
-            )
-            if backend_name != "dynamic":
-                mapping = ScratchpadMapping(
-                    num_cores=config.core.num_cores,
-                    hot_capacity=hot_capacity,
-                    chunk_size=(
-                        sp_chunk_size if sp_chunk_size is not None
-                        else chunk_size
-                    ),
-                )
-
-        microcode = None
-        if backend_name in ("omega", "dynamic") and config.use_pisc:
-            microcode = microcode_for_algorithm(algorithm)
-
-        if backend_name == "baseline":
-            hierarchy = BaselineBackend(
-                config, dram_random_ranges=bundle.vtx_ranges
-            )
-        elif backend_name == "omega":
-            hierarchy = OmegaBackend(
-                config, mapping, microcode,
-                dram_random_ranges=bundle.vtx_ranges,
-            )
-        elif backend_name == "locked":
-            hierarchy = LockedCacheBackend(config, mapping)
-        elif backend_name == "graphpim":
-            hierarchy = GraphPimBackend(config, pim)
-        elif backend_name == "dynamic":
-            hierarchy = DynamicScratchpadBackend(
-                config, hot_capacity, microcode
-            )
-        else:
-            # Extension backends take just the config.
-            hierarchy = backend_cls(config)
+        hierarchy, hot_capacity = _make_hierarchy(
+            bundle, algorithm, config, backend_name, backend_cls,
+            chunk_size, sp_chunk_size, pim,
+        )
 
     replay_start = time.perf_counter()
     if bundle.segments is not None:
@@ -841,6 +868,62 @@ def run_system(
         append_entry(ledger_path, make_entry(report.manifest(), kind="run"))
         _LOG.info("appended run-ledger entry to %s", ledger_path)
     return report
+
+
+def estimate_system(
+    graph: CSRGraph,
+    algorithm: str,
+    config: SimConfig,
+    dataset: str = "",
+    chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
+    sp_chunk_size: Optional[int] = None,
+    reorder: Optional[bool] = None,
+    backend: Optional[str] = None,
+    pim=None,
+    cache=None,
+    **alg_kwargs,
+) -> "ReplayEstimate":
+    """Predict a run's headline counters without replaying it.
+
+    The trace-preparation stages are identical to :func:`run_system`
+    (same store keys, same reorder defaults, same hierarchy sizing),
+    but the replay is replaced by the closed-form model of
+    :func:`repro.memsim.estimate.estimate_replay`: exact route shares,
+    reuse-gap cache predictions, no stateful kernel. Used by
+    ``repro sweep --estimate-prune`` to skip configurations whose
+    predicted metrics fall outside the band of interest.
+
+    Always runs in-core (the estimator needs the whole interleaved
+    trace resident); out-of-core streaming does not apply here.
+    Returns the :class:`~repro.memsim.estimate.ReplayEstimate`.
+    """
+    backend_name = backend or (
+        "omega" if config.use_scratchpad else "baseline"
+    )
+    backend_cls = get_backend(backend_name)
+    if reorder is None:
+        reorder = _REORDER_DEFAULT.get(backend_name, config.use_scratchpad)
+    _pin_source(graph, algorithm, alg_kwargs)
+    store = resolve_store(cache)
+    tracer = get_tracer()
+    _LOG.info(
+        "estimate_system: algorithm=%s dataset=%s backend=%s cores=%d",
+        algorithm, dataset or "?", backend_name, config.core.num_cores,
+    )
+    bundle = _prepare_trace(
+        graph, algorithm, config.core.num_cores, chunk_size, reorder,
+        store, tracer, alg_kwargs,
+    )
+    try:
+        hierarchy, _ = _make_hierarchy(
+            bundle, algorithm, config, backend_name, backend_cls,
+            chunk_size, sp_chunk_size, pim,
+        )
+        with tracer.span("estimate", cat="run", backend=backend_name,
+                         events=bundle.num_events):
+            return estimate_replay(hierarchy, bundle.trace)
+    finally:
+        bundle.cleanup()
 
 
 def run_backends(

@@ -18,17 +18,43 @@ pre-routed event batches over it. Two execution paths produce
   serialize through the inlined loop.
 
 The batch-segmentation invariant the kernel relies on
-(:func:`screen_guaranteed_hits`): an event whose *immediately
-preceding same-line event in the batch* was issued by the same core
-with no intervening same-(core, L1-set) event is a guaranteed L1 hit
-whose ``move_to_end`` is a no-op — the line is still the set's MRU
-entry — so the event has **no state effect at all** and exactly
-``l1_latency`` cost. Writes additionally require that predecessor to
-be a write, so the dirty bit and the directory's exclusive-owner
-entry are already established and the directory transition is
-idempotent. Such events never enter the serialized loop; their
-latency is prefilled and their hit counts fall out of the per-core
-complement (events minus misses).
+(:func:`screen_guaranteed_hits`): an event whose nearest *same-core*
+same-line predecessor in the batch is slot-adjacent (no intervening
+same-(core, L1-set) event) is a guaranteed L1 hit whose
+``move_to_end`` is a no-op — the line is still the set's MRU entry —
+so the event has **no state effect at all** and exactly ``l1_latency``
+cost. Reads tolerate intervening same-line *reads by other cores*
+(a read never invalidates another core's copy and a read hit never
+consults the directory); writes require the immediately preceding
+same-line event to be a same-core write, so the dirty bit and the
+directory's exclusive-owner entry are already established and the
+directory transition is idempotent. Such events never enter the
+serialized loop; their latency is prefilled and their hit counts fall
+out of the per-core complement (events minus misses).
+
+Screening runs to a *generational fixpoint*
+(:func:`screen_fixpoint`): a screened event is a total no-op, so
+deleting it yields a state-equivalent batch — re-screening the
+compacted residual can qualify events whose predecessor chain was
+previously interrupted by a now-removed no-op (e.g. the write in a
+same-core W,R,W chain only screens once the interleaved read is
+gone). Each generation is the same O(n log n) sort machinery over a
+shrinking residual, and soundness follows by induction: every
+generation's conditions are valid from an *arbitrary* start state, so
+they remain valid on the compacted sequence.
+
+The residual is then partitioned into independent conflict groups
+(:meth:`CacheSystem._residual_spans`): cores are merged when their
+residual events share a line (coherence), share a (bank, L2-set)
+slot (LRU interaction), can invalidate a pre-batch sharer's L1, or
+can evict a resident occupant another group touches. Groups that
+survive the merge provably cannot interact, so the residual replays
+group-major — each group a contiguous sub-batch — with per-event
+latencies scattered back to original positions, which keeps the
+``np.add.at`` per-core float fold bit-identical to batch order. Only
+genuinely coupled events (and every batch under an open/hybrid DRAM
+page policy, whose row machine serializes globally) stay in one
+serialized span.
 
 Unlike the pre-refactor fast path, the kernel covers **every**
 interconnect topology and DRAM page policy: mesh hop latencies are
@@ -56,10 +82,13 @@ from repro.memsim.stats import MemStats
 __all__ = [
     "CacheRecord",
     "CacheSystem",
+    "KernelTelemetry",
     "SCALAR_CACHE_ENV",
     "iter_set_bits",
     "scalar_cache_forced",
+    "screen_fixpoint",
     "screen_guaranteed_hits",
+    "set_bit_positions",
 ]
 
 #: Environment variable forcing the scalar reference oracle.
@@ -100,8 +129,10 @@ class CacheRecord:
 def iter_set_bits(mask: int) -> Iterator[int]:
     """Yield the positions of the set bits of ``mask``, LSB first.
 
-    The shared form of the sharer-bitmask walks (invalidation targets
-    are the set bits of a directory mask).
+    The scalar reference form of the sharer-bitmask walks
+    (invalidation targets are the set bits of a directory mask); the
+    kernel's invalidation sites use :func:`set_bit_positions` for
+    multi-target masks.
     """
     pos = 0
     while mask:
@@ -109,6 +140,25 @@ def iter_set_bits(mask: int) -> Iterator[int]:
             yield pos
         mask >>= 1
         pos += 1
+
+
+def set_bit_positions(mask: int) -> np.ndarray:
+    """Set-bit positions of ``mask`` as an array, LSB first.
+
+    Vectorized twin of :func:`iter_set_bits` (the oracle-path
+    reference): the mask's little-endian bytes unpack to a bit plane
+    and ``np.flatnonzero`` reads off the positions in one sweep. Used
+    by the kernel's invalidation path when a sharer mask has multiple
+    targets.
+    """
+    if mask <= 0:
+        return np.empty(0, dtype=np.int64)
+    nbytes = (mask.bit_length() + 7) // 8
+    bits = np.unpackbits(
+        np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8),
+        bitorder="little",
+    )
+    return np.flatnonzero(bits)
 
 
 def screen_guaranteed_hits(
@@ -119,26 +169,33 @@ def screen_guaranteed_hits(
 ) -> np.ndarray:
     """Mark events that provably have *no effect* on cache state.
 
-    Returns a boolean mask over the batch. A marked event satisfies,
-    within the batch:
+    Returns a boolean mask over the batch. A marked **read**
+    satisfies, within the batch:
 
-    1. the immediately preceding event on the same cache line was
-       issued by the same core (so nothing — no other core's write, no
-       invalidation — touched the line in between);
+    1. its nearest preceding *same-core* event on the same cache line
+       exists (that access, hit or miss, left the line resident and
+       MRU in this core's L1);
     2. no other event touched the same (core, L1-set) slot in between
        (so the line is still that set's MRU entry: it cannot have been
        evicted, and the LRU touch the event would apply is a no-op);
-    3. a write's predecessor is itself a write (so the dirty bit is
-       already set and the directory already records this core as the
-       exclusive owner — the write's directory transition is
-       idempotent and triggers no invalidations or writebacks).
+    3. no *write* to the line intervened (only a write can invalidate
+       this core's copy; reads by other cores are transparent — they
+       never touch a foreign L1, and a read hit never consults the
+       directory).
+
+    A marked **write** satisfies the strict form: the immediately
+    preceding same-line event is a same-core *write*, slot-adjacent —
+    so the dirty bit is already set and the directory already records
+    this core as the exclusive owner, making the write's directory
+    transition idempotent with no invalidations or writebacks.
 
     Such an event is an L1 hit costing exactly ``l1_latency`` whose
     replay changes nothing: the kernel resolves it entirely in this
-    vectorized pass and drops it from the serialized loop. All three
-    conditions are trace-structural — they depend only on the batch's
-    event order, never on cache state — which is what makes screening
-    a single numpy sweep.
+    vectorized pass and drops it from the serialized loop. Every
+    condition is trace-structural — valid from an *arbitrary* start
+    state, dependent only on the batch's event order — which is both
+    what makes screening a numpy sweep and what makes iterating it
+    sound (:func:`screen_fixpoint`).
     """
     n = len(lines)
     out = np.zeros(n, dtype=bool)
@@ -147,30 +204,217 @@ def screen_guaranteed_hits(
     cores = np.asarray(cores, dtype=np.int64)
     lines = np.asarray(lines, dtype=np.int64)
     writes = np.asarray(writes, dtype=bool)
-    # Rank of each event within its (core, L1-set) slot subsequence.
     slot = cores * num_sets + lines % num_sets
-    so = np.argsort(slot, kind="stable")
-    ss = slot[so]
-    starts = np.flatnonzero(np.concatenate(([True], ss[1:] != ss[:-1])))
-    sizes = np.diff(np.concatenate((starts, [n])))
-    rank = np.empty(n, dtype=np.int64)
-    rank[so] = np.arange(n, dtype=np.int64) - np.repeat(starts, sizes)
-    # Group by line (stable: within a group, batch order is kept) and
-    # test each event against its immediate same-line predecessor.
-    lo = np.argsort(lines, kind="stable")
-    gl = lines[lo]
-    gc = cores[lo]
-    gw = writes[lo]
-    gr = rank[lo]
-    ok = np.zeros(n, dtype=bool)
-    ok[1:] = (
-        (gl[1:] == gl[:-1])          # same line ...
-        & (gc[1:] == gc[:-1])        # ... same core (condition 1)
-        & (gr[1:] - gr[:-1] == 1)    # slot-adjacent (condition 2)
-        & (~gw[1:] | gw[:-1])        # writes follow writes (condition 3)
-    )
-    out[lo] = ok
+    so = _slot_argsort(slot)
+    lo = _line_argsort(lines)
+    linepos = np.empty(n, dtype=np.int32)
+    cwg = np.empty(n, dtype=np.int32)
+    hit = _screen_pass(lines, writes, slot, so, lo, linepos, cwg)
+    out[hit] = True
     return out
+
+
+def _slot_argsort(slot: np.ndarray) -> np.ndarray:
+    """Stable argsort of the small-range slot keys.
+
+    Slot ids are bounded by ncores * num_sets, so they almost always
+    fit int16 — where numpy's stable sort is a radix sort, several
+    times faster than the int64 comparison sort.
+    """
+    if len(slot) and int(slot.max()) < 32768:
+        return np.argsort(slot.astype(np.int16), kind="stable")
+    return np.argsort(slot, kind="stable")
+
+
+def _line_argsort(lines: np.ndarray) -> np.ndarray:
+    """Stable argsort of line ids, radix-sorted when the range allows.
+
+    Graph traces touch a compact address window (the vtxProp/CSR
+    regions), so line ids usually span far fewer than 2**16 distinct
+    values even though their absolute magnitudes are large. Shifting
+    by the minimum exposes numpy's uint16 radix sort; wide windows
+    fall back to the int64 comparison sort.
+    """
+    if len(lines):
+        lmin = int(lines.min())
+        if int(lines.max()) - lmin < 65536:
+            return np.argsort(
+                (lines - lmin).astype(np.uint16), kind="stable"
+            )
+    return np.argsort(lines, kind="stable")
+
+
+def _screen_pass(lines, writes, slot, so, lo, linepos, cwg):
+    """One screening generation over sorted views; the shared core of
+    :func:`screen_guaranteed_hits` and :func:`screen_fixpoint`.
+
+    ``so``/``lo`` are the residual's batch indices in slot-major and
+    line-major stable order; ``linepos``/``cwg`` are caller-provided
+    batch-size scratch arrays (stale entries at screened-out positions
+    are never read). Returns the batch indices newly screened.
+
+    The slot-major formulation makes both rules two-view: a same-core
+    same-line predecessor *is* the slot-predecessor when it is
+    slot-adjacent (same core + same line implies same slot). Both
+    rules then reduce to comparisons in line-major coordinates — the
+    line order groups each line's events contiguously (batch-ordered
+    within the group), so for a slot-adjacent same-line pair ``(prev,
+    cur)``:
+
+    - *read rule*: no write to the line intervenes iff the cumulative
+      write count (one global cumsum over the line order — no group
+      reset needed, since positions between two same-line events are
+      all same-line) is equal at both positions;
+    - *write rule*: nothing at all intervenes on the line iff their
+      line positions are adjacent, tightened by "both are writes".
+    """
+    r = len(so)
+    # Line-major pass: per-event line position and running write count.
+    cw = cwg[:r]
+    np.cumsum(writes[lo], dtype=np.int32, out=cw)
+    linepos[lo] = np.arange(r, dtype=np.int32)
+    # Slot-major pass: test each event against its slot predecessor.
+    ss = slot[so]
+    sl = lines[so]
+    sw = writes[so]
+    p = linepos[so]
+    pprev = p[:-1]
+    pcur = p[1:]
+    base = (ss[1:] == ss[:-1]) & (sl[1:] == sl[:-1])
+    ok = base & np.where(
+        sw[1:],
+        sw[:-1] & (pcur == pprev + 1),
+        cw[pcur] == cw[pprev],
+    )
+    return so[1:][ok]
+
+
+def screen_fixpoint(
+    cores: np.ndarray,
+    lines: np.ndarray,
+    writes: np.ndarray,
+    num_sets: int,
+) -> "tuple[np.ndarray, List[int], np.ndarray]":
+    """Iterate :func:`screen_guaranteed_hits` to a generational fixpoint.
+
+    A screened event is a total no-op, so deleting it leaves a batch
+    whose replay is state-equivalent at every remaining event — and
+    the screen's conditions hold from an arbitrary start state, so
+    re-screening the compacted residual is sound by induction. Each
+    generation rescreens the shrinking residual
+    and can qualify events whose predecessor chain was previously
+    interrupted by a now-removed no-op (a same-core W,R,W chain
+    screens its read in generation 1 and its second write only in
+    generation 2, once the read is gone).
+
+    Returns ``(skip, generations, line_order)``: the combined boolean
+    mask over the batch, the per-generation screened counts, and the
+    surviving residual's batch indices in line-major stable order — a
+    byproduct of the incremental iteration that
+    :meth:`CacheSystem._residual_spans` reuses to find coherence
+    pairs without re-sorting. The batch is
+    sorted once; later generations filter the slot-major and
+    line-major index arrays in place of re-sorting (removing elements
+    preserves sortedness), so each extra generation costs O(residual)
+    rather than another sort. Iteration stops at the true fixpoint (a
+    generation that screens nothing) or at a diminishing-returns
+    cutoff — when a generation resolves less than 1/32 of the residual
+    it screened from, the next pass costs more than the loop events it
+    would save. The cutoff is deterministic, so replay results are
+    still reproducible bit-for-bit; it only leaves some provable
+    no-ops to the serialized loop, which handles them correctly
+    anyway.
+    """
+    n = len(lines)
+    skip = np.zeros(n, dtype=bool)
+    generations: List[int] = []
+    if n < 2:
+        return skip, generations, np.arange(n, dtype=np.int64)
+    cores = np.asarray(cores, dtype=np.int64)
+    lines = np.asarray(lines, dtype=np.int64)
+    writes = np.asarray(writes, dtype=bool)
+    slot = cores * num_sets + lines % num_sets
+    so = _slot_argsort(slot)
+    lo = _line_argsort(lines)
+    linepos = np.empty(n, dtype=np.int32)
+    cwg = np.empty(n, dtype=np.int32)
+    while len(so) >= 2:
+        before = len(so)
+        hit = _screen_pass(lines, writes, slot, so, lo, linepos, cwg)
+        c = len(hit)
+        if c == 0:
+            break
+        skip[hit] = True
+        generations.append(c)
+        keep = ~skip
+        so = so[keep[so]]
+        lo = lo[keep[lo]]
+        if c * 32 < before:
+            break
+    return skip, generations, lo
+
+
+class KernelTelemetry:
+    """Aggregate screening/grouping counters across a system's batches.
+
+    One instance lives on each :class:`CacheSystem` and accumulates
+    over every kernel batch the system replays (all segments and
+    windows of a run), so the totals answer "how much of this run's
+    cache path was resolved without the serialized loop" — the
+    manifest's ``replay.kernel`` block and the Perfetto counter track
+    both read from here. The scalar oracle path never touches it:
+    ``batches`` stays 0 and the replay block reports mode "scalar".
+    """
+
+    __slots__ = ("batches", "events", "screened_per_generation",
+                 "grouped_events", "serialized_events", "groups")
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.events = 0
+        self.screened_per_generation: List[int] = []
+        self.grouped_events = 0
+        self.serialized_events = 0
+        self.groups = 0
+
+    def observe(self, events: int, generations: List[int],
+                grouped: int, serialized: int, groups: int) -> None:
+        """Fold one kernel batch's screening outcome into the totals."""
+        self.batches += 1
+        self.events += events
+        spg = self.screened_per_generation
+        for g, count in enumerate(generations):
+            if g < len(spg):
+                spg[g] += count
+            else:
+                spg.append(count)
+        self.grouped_events += grouped
+        self.serialized_events += serialized
+        self.groups += groups
+
+    @property
+    def screened(self) -> int:
+        """Events resolved by screening alone, across all generations."""
+        return sum(self.screened_per_generation)
+
+    @property
+    def screened_fraction(self) -> float:
+        """Screened share of all kernel-replayed cache events."""
+        return self.screened / self.events if self.events else 0.0
+
+    def as_dict(self) -> dict:
+        """The manifest shape of the counters (JSON-safe)."""
+        return {
+            "batches": self.batches,
+            "events": self.events,
+            "screened": self.screened,
+            "screened_fraction": round(self.screened_fraction, 6),
+            "screened_per_generation": list(self.screened_per_generation),
+            "generations": len(self.screened_per_generation),
+            "grouped_events": self.grouped_events,
+            "serialized_events": self.serialized_events,
+            "groups": self.groups,
+        }
 
 
 class CacheSystem:
@@ -217,6 +461,9 @@ class CacheSystem:
         #: kernel covers every topology and page policy; only the
         #: escape hatches disable it.
         self.fast_path_ok = not scalar_cache_forced()
+        #: Screening/grouping counters accumulated over every kernel
+        #: batch this system replays (see :class:`KernelTelemetry`).
+        self.kernel_telemetry = KernelTelemetry()
 
     def _prefetched(self, core: int, line: int) -> bool:
         """Stride detection: is ``line`` the next line of a live stream?"""
@@ -464,11 +711,15 @@ class CacheSystem:
 
         n = len(cores)
         # The vectorized pass: set indices are state-independent, and
-        # the screen resolves every guaranteed hit without state.
+        # the generational screen resolves every guaranteed hit
+        # without state.
         s1i = cores * l1_nsets + lines % l1_nsets
         l2i = banks * l2_nsets + bank_keys % l2_nsets
-        skip = screen_guaranteed_hits(cores, lines, writes, l1_nsets)
+        skip, generations, lo_res = screen_fixpoint(
+            cores, lines, writes, l1_nsets
+        )
         keep = np.flatnonzero(~skip)
+        nkeep = len(keep)
 
         # Interconnect latencies are per-(core, bank) constants under
         # both topologies; precompute the table the miss path indexes.
@@ -526,15 +777,59 @@ class CacheSystem:
         rowh = 0
         rowm = 0
 
-        # Residual (serialized) columns.
-        cores_l = cores[keep].tolist()
-        lines_l = lines[keep].tolist()
-        writes_l = writes[keep].tolist()
-        s1i_l = s1i[keep].tolist()
-        banks_l = banks[keep].tolist()
-        keys_l = bank_keys[keep].tolist()
-        l2i_l = l2i[keep].tolist()
-        keep_l = keep.tolist()
+        # Residual columns. Under a closed DRAM page (the only policy
+        # without a globally serializing row machine) the residual is
+        # partitioned into independent conflict groups and replayed
+        # group-major: the permutation concatenates each group's
+        # events in batch order, which is exactly "replay the groups
+        # as independent sub-batches". Latencies scatter back through
+        # ``keep`` to original positions, so the np.add.at per-core
+        # float fold is bit-identical to batch order.
+        kc = cores[keep]
+        kl = lines[keep]
+        kw = writes[keep]
+        ks1 = s1i[keep]
+        kb = banks[keep]
+        kk = bank_keys[keep]
+        kl2 = l2i[keep]
+        spans = None
+        if closed_page and nkeep > 1 and ncores > 1:
+            # Map the fixpoint's surviving line-major order (batch
+            # indices) to residual positions, so the span search never
+            # re-sorts the lines.
+            rpos = np.empty(n, dtype=np.int64)
+            rpos[keep] = np.arange(nkeep, dtype=np.int64)
+            spans = self._residual_spans(
+                kc, kl, kw, kl2, ks1, flat_l1, rpos[lo_res]
+            )
+        if spans is not None:
+            perm = np.concatenate(spans)
+            kc = kc[perm]
+            kl = kl[perm]
+            kw = kw[perm]
+            ks1 = ks1[perm]
+            kb = kb[perm]
+            kk = kk[perm]
+            kl2 = kl2[perm]
+            keep_res = keep[perm]
+        else:
+            keep_res = keep
+        self.kernel_telemetry.observe(
+            events=n,
+            generations=generations,
+            grouped=nkeep if spans is not None else 0,
+            serialized=0 if spans is not None else nkeep,
+            groups=(len(spans) if spans is not None
+                    else (1 if nkeep else 0)),
+        )
+        cores_l = kc.tolist()
+        lines_l = kl.tolist()
+        writes_l = kw.tolist()
+        s1i_l = ks1.tolist()
+        banks_l = kb.tolist()
+        keys_l = kk.tolist()
+        l2i_l = kl2.tolist()
+        keep_l = keep_res.tolist()
 
         l1_lat = float(self.l1_lat)
         pref_lat = float(self.l1_lat + 1)
@@ -591,21 +886,29 @@ class CacheSystem:
             r_pref = record.prefetch
             r_wb = record.writebacks
 
-        # Guaranteed hits cost exactly the L1 latency; the loop only
-        # overwrites residual events' entries.
-        lats = [l1_lat] * n
-        i = -1
-        for core, line, write, si in zip(cores_l, lines_l, writes_l, s1i_l):
-            i += 1
+        # Guaranteed hits cost exactly the L1 latency; residual
+        # latencies collect in loop order and scatter back through
+        # ``keep_res`` once at the end (appending to a list beats
+        # per-event ndarray stores, and the prefilled array spares the
+        # final list->array conversion the accounting fold would pay).
+        lats = np.full(n, l1_lat)
+        rl: List[float] = []
+        rl_append = rl.append
+        for core, line, write, si, bank, bank_key, l2si, ki in zip(
+            cores_l, lines_l, writes_l, s1i_l, banks_l, keys_l, l2i_l, keep_l
+        ):
             s = flat_l1[si]
             if line in s:
                 s.move_to_end(line)
-                if write:
+                if not write:
+                    rl_append(l1_lat)
+                else:
                     s[line] = True
                     me = 1 << core
                     entry = dir_lines.get(line)
                     if entry is None:
                         dir_lines[line] = [me, core]
+                        rl_append(l1_lat)
                     else:
                         mask0, owner = entry
                         others = mask0 & ~me
@@ -617,7 +920,14 @@ class CacheSystem:
                         extra = 0
                         if others:
                             lsi = line % l1_nsets
-                            for c in iter_set_bits(others):
+                            # Single sharer: direct bit math. Multi-
+                            # target masks go through the vectorized
+                            # unpackbits/flatnonzero helper.
+                            if others & (others - 1):
+                                targets = set_bit_positions(others).tolist()
+                            else:
+                                targets = (others.bit_length() - 1,)
+                            for c in targets:
                                 sc = l1_sets[c][lsi]
                                 if line in sc:
                                     del sc[line]
@@ -630,13 +940,12 @@ class CacheSystem:
                             s_onchip_line += lb_h
                             x_line_pkts += 1
                             extra += wb_lat
-                        if extra:
-                            lats[keep_l[i]] = l1_lat + extra
+                        rl_append(l1_lat + extra)
             else:
                 latency = l1_lat
                 l1m[core] += 1
                 if rec_on:
-                    r_l1[keep_l[i]] = False
+                    r_l1[ki] = False
                 dirty_victim = -1
                 if len(s) >= l1_ways:
                     victim_line, was_dirty = s.popitem(last=False)
@@ -660,7 +969,11 @@ class CacheSystem:
                             d_wb += 1
                         if others:
                             lsi = line % l1_nsets
-                            for c in iter_set_bits(others):
+                            if others & (others - 1):
+                                targets = set_bit_positions(others).tolist()
+                            else:
+                                targets = (others.bit_length() - 1,)
+                            for c in targets:
                                 sc = l1_sets[c][lsi]
                                 if line in sc:
                                     del sc[line]
@@ -707,7 +1020,7 @@ class CacheSystem:
                                 dram_wacc += 1
                                 s_dram_wr += line_bytes
                                 if rec_on:
-                                    r_wb[keep_l[i]] += 1
+                                    r_wb[ki] += 1
                                 if track_rows:
                                     victim_write(
                                         ((v2 << bank_bits) | vbank)
@@ -722,14 +1035,12 @@ class CacheSystem:
                         if entry[0] == 0:
                             del dir_lines[dirty_victim]
 
-                bank = banks_l[i]
                 if bank != core:
                     latency += bank_lat[core][bank]
                     x_line_pkts += 1
                     s_onchip_line += lb_h
                 latency += l2_lat
-                bank_key = keys_l[i]
-                s2 = flat_l2[l2i_l[i]]
+                s2 = flat_l2[l2si]
                 if bank_key in s2:
                     l2h[bank] += 1
                     s2.move_to_end(bank_key)
@@ -737,7 +1048,7 @@ class CacheSystem:
                         s2[bank_key] = True
                     s_l2_hits += 1
                     if rec_on:
-                        r_l2h[keep_l[i]] = True
+                        r_l2h[ki] = True
                 else:
                     l2m[bank] += 1
                     dirty2 = -1
@@ -752,8 +1063,13 @@ class CacheSystem:
                     s_dram_rd += line_bytes
                     dram_racc += 1
                     if rec_on:
-                        r_l2m[keep_l[i]] = True
+                        r_l2m[ki] = True
                     if track_rows:
+                        # Exactly one latency is appended per residual
+                        # event, so len(rl) (pre-append) is this
+                        # event's residual ordinal — no per-iteration
+                        # counter needed on the hot paths.
+                        i = len(rl)
                         if rand_l[i]:
                             latency += dram_lat
                         else:
@@ -772,7 +1088,7 @@ class CacheSystem:
                         dram_wacc += 1
                         s_dram_wr += line_bytes
                         if rec_on:
-                            r_wb[keep_l[i]] += 1
+                            r_wb[ki] += 1
                         if track_rows:
                             victim_write(
                                 ((dirty2 << bank_bits) | bank) << line_bits
@@ -798,7 +1114,7 @@ class CacheSystem:
                         ws.append(slot)
                     s_pref += 1
                     if rec_on:
-                        r_pref[keep_l[i]] = True
+                        r_pref[ki] = True
                     latency = pref_lat
                 else:
                     slot = p_next[core]
@@ -815,11 +1131,14 @@ class CacheSystem:
                     else:
                         ws.append(slot)
                     p_next[core] = (slot + 1) % num_heads
-                lats[keep_l[i]] = latency
+                rl_append(latency)
 
         # Per-core L1 hits fall out of the per-core event counts: the
         # loop only tallies misses, hits (screened or residual) are the
         # complement.
+        if rl:
+            lats[keep_res] = rl
+
         ev_counts = np.bincount(cores, minlength=ncores)
         for c in range(ncores):
             l1h[c] = int(ev_counts[c]) - l1m[c]
@@ -861,3 +1180,143 @@ class CacheSystem:
             dram.row_misses += rowm
             dram._open_rows[:] = open_rows
         return lats
+
+    def _residual_spans(self, kc, kl, kw, kl2, ks1, flat_l1, llo):
+        """Partition the residual into independent conflict groups.
+
+        Cores are the union-find nodes — every residual event of a
+        core shares that core's L1 sets and prefetcher state, so a
+        partition of cores induces a partition of events. Two cores
+        are merged whenever their residual events could interact:
+
+        - they touch the **same line** (coherence: invalidations,
+          owner write-backs, sharer-mask order all matter);
+        - they touch the **same (bank, L2-set) slot** (the L2 set's
+          LRU order depends on the interleaving of insertions);
+        - one **writes a line whose pre-batch directory entry** names
+          the other as sharer or owner (the write's invalidation
+          deletes the line from that core's L1 set, changing its
+          occupancy and future victim choice);
+        - one's touched L1 sets hold a **resident occupant line** the
+          other accesses, or whose L2 slot the other touches (evicting
+          the occupant clears its sharer bit / owner and writes a
+          dirty victim into that L2 set — order matters to both).
+
+        Anything not merged provably cannot interact: all remaining
+        effects (counter sums, per-event latencies, disjoint dict
+        keys, own-bit directory clears on shared entries) commute
+        across groups. Returns a list of >= 2 position arrays into the
+        residual (each ascending, so batch order is kept within a
+        group), or ``None`` when the residual is one coupled group.
+        Only called under the closed DRAM page policy — the open and
+        hybrid row machines serialize every group through shared
+        per-channel row state.
+
+        ``llo`` is the residual's line-major stable order (positions),
+        handed down from the screening fixpoint so no re-sort is
+        needed here. Sharing pairs come from *adjacent* elements of a
+        sorted run — unioning every adjacent pair connects the same
+        component as unioning every distinct pair — and the pair ids
+        live in an ncores^2 flag plane, so no ``np.unique`` either.
+        """
+        ncores = self.ncores
+        parent = list(range(ncores))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        def merged() -> bool:
+            reps = {find(int(c)) for c in present}
+            return len(reps) < 2
+
+        present = np.flatnonzero(np.bincount(kc, minlength=ncores))
+        if len(present) < 2:
+            return None
+
+        pair_flags = np.zeros(ncores * ncores, dtype=bool)
+        # (1) cores sharing a line: adjacent cores within each
+        # line-major run.
+        gl = kl[llo]
+        lc = kc[llo]
+        same = gl[1:] == gl[:-1]
+        pair_flags[lc[:-1][same] * ncores + lc[1:][same]] = True
+        # (2) cores sharing a (bank, L2-set) slot: same trick over the
+        # slot-major order (small-range keys, radix argsort).
+        s2o = _slot_argsort(kl2)
+        g2 = kl2[s2o]
+        c2 = kc[s2o]
+        same2 = g2[1:] == g2[:-1]
+        pair_flags[c2[:-1][same2] * ncores + c2[1:][same2]] = True
+        for k in np.flatnonzero(pair_flags).tolist():
+            a, b = divmod(k, ncores)
+            if a != b:
+                union(a, b)
+        if merged():
+            return None
+
+        # (3) pre-batch sharers/owners of written lines: the write's
+        # invalidation reaches into their L1 sets. Any writer of the
+        # line is a valid representative — step (1) already connected
+        # every core touching it.
+        dir_lines = self.directory._lines
+        gw = kw[llo]
+        if np.any(gw):
+            wl = gl[gw]
+            wc = lc[gw]
+            firstw = np.empty(len(wl), dtype=bool)
+            firstw[0] = True
+            np.not_equal(wl[1:], wl[:-1], out=firstw[1:])
+            for line, c in zip(wl[firstw].tolist(), wc[firstw].tolist()):
+                entry = dir_lines.get(line)
+                if entry is None:
+                    continue
+                m = entry[0]
+                while m:
+                    b = m & -m
+                    union(c, b.bit_length() - 1)
+                    m ^= b
+                if entry[1] >= 0:
+                    union(c, entry[1])
+            if merged():
+                return None
+
+        # (4) occupant closure: resident lines of every touched L1 set
+        # can be evicted mid-batch.
+        l1_nsets = self.l1s[0]._num_sets
+        l2_nsets = self.l2_banks[0]._num_sets
+        bank_mask = self.bank_mask
+        bank_bits = self.bank_bits
+        first_l = np.concatenate(([True], gl[1:] != gl[:-1]))
+        line_core = dict(zip(gl[first_l].tolist(), lc[first_l].tolist()))
+        first_s = np.concatenate(([True], g2[1:] != g2[:-1]))
+        slot_core = dict(zip(g2[first_s].tolist(), c2[first_s].tolist()))
+        for si in np.flatnonzero(
+            np.bincount(ks1, minlength=ncores * l1_nsets)
+        ).tolist():
+            c = si // l1_nsets
+            for occ in flat_l1[si]:
+                oc = line_core.get(occ)
+                if oc is not None and oc != c:
+                    union(c, oc)
+                osl = ((occ & bank_mask) * l2_nsets
+                       + ((occ >> bank_bits) % l2_nsets))
+                ol = slot_core.get(osl)
+                if ol is not None and ol != c:
+                    union(c, ol)
+        if merged():
+            return None
+
+        reps = np.asarray([find(c) for c in range(ncores)], dtype=np.int64)
+        g = reps[kc]
+        order = np.argsort(g, kind="stable")
+        gs = g[order]
+        cuts = np.flatnonzero(np.concatenate(([True], gs[1:] != gs[:-1])))
+        return np.split(order, cuts[1:])

@@ -70,6 +70,11 @@ class ReplayOutput:
     #: (:class:`repro.obs.attribution.AttributionAccumulator`), when
     #: attribution was requested.
     attribution: Optional[object] = None
+    #: Kernel screening telemetry: the cache system's accumulated
+    #: :class:`~repro.memsim.cachestate.KernelTelemetry` counters plus
+    #: an execution ``mode`` tag ("kernel" or "scalar"). Present for
+    #: every replay; all-zero counters under the scalar oracle.
+    kernel: Optional[dict] = None
 
 
 class _InCoreSource:
@@ -270,6 +275,20 @@ def _run(backend, source, sampler: Optional[ReplaySampler],
             total - cache_events
         )
         metrics.counter("replay.segments").inc(num_segments)
+        kt = system.kernel_telemetry
+        kernel_block = kt.as_dict()
+        kernel_block["mode"] = (
+            "kernel" if system.fast_path_ok else "scalar"
+        )
+        if tracer.enabled:
+            tracer.counter(
+                "kernel.screening",
+                {
+                    "screened": kt.screened,
+                    "grouped": kt.grouped_events,
+                    "serialized": kt.serialized_events,
+                },
+            )
         ledger.flush(stats)
         stats.core_accesses = [int(x) for x in counts]
         backend.finalize(ctx)
@@ -294,6 +313,7 @@ def _run(backend, source, sampler: Optional[ReplaySampler],
             piscs=ctx.piscs,
             num_segments=max(num_segments, 1),
             attribution=attribution,
+            kernel=kernel_block,
         )
 
 

@@ -197,7 +197,7 @@ class TestManifest:
             manifest_path=path,
         )
         data = json.loads(path.read_text())
-        assert data["schema"] == "omega-repro/run-manifest/v5"
+        assert data["schema"] == "omega-repro/run-manifest/v6"
         assert data["backend"] == "omega"
         assert data["dataset"] == "rmat7"
         assert data["config"]["hash"] == config.config_hash()

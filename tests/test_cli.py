@@ -211,7 +211,8 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "timeline:" in out and "trace:" in out
         doc = json.loads(trace.read_text())
-        assert max(e["args"]["depth"] for e in doc["traceEvents"]) >= 3
+        assert max(e["args"]["depth"] for e in doc["traceEvents"]
+                   if e["ph"] == "X") >= 3
         tl = json.loads(timeline.read_text())
         assert tl["num_windows"] >= 10
 
