@@ -20,7 +20,14 @@ Package layout:
 """
 
 from repro.config import SimConfig
-from repro.core import Comparison, SimReport, compare_systems, run_system
+from repro.core import (
+    Comparison,
+    RunContext,
+    RunRequest,
+    SimReport,
+    compare_systems,
+    run_system,
+)
 from repro.errors import ReproError
 from repro.graph import CSRGraph, dataset_names, load_dataset
 
@@ -29,6 +36,8 @@ __version__ = "1.0.0"
 __all__ = [
     "SimConfig",
     "Comparison",
+    "RunContext",
+    "RunRequest",
     "SimReport",
     "compare_systems",
     "run_system",

@@ -10,7 +10,10 @@ free.
 from repro.analyze.rules import counters as counters
 from repro.analyze.rules import determinism as determinism
 from repro.analyze.rules import docsync as docsync
+from repro.analyze.rules import envreads as envreads
 from repro.analyze.rules import protocol as protocol
 from repro.analyze.rules import routing as routing
 
-__all__ = ["counters", "determinism", "docsync", "protocol", "routing"]
+__all__ = [
+    "counters", "determinism", "docsync", "envreads", "protocol", "routing",
+]

@@ -163,13 +163,22 @@ def build_grid(
     ]
 
 
-def run_task(task: SweepTask, cache=None, prune: Optional[str] = None) -> Dict:
+def run_task(
+    task: SweepTask,
+    cache=None,
+    prune: Optional[str] = None,
+    context=None,
+) -> Dict:
     """Execute one sweep cell and flatten the report into a row dict.
 
     Module-level (and taking only picklable arguments) so it can cross
     a process boundary; ``cache`` follows
     :func:`repro.store.resolve_store` semantics but must be a path or
-    ``None``/``False`` when used with worker processes.
+    ``None``/``False`` when used with worker processes. ``context`` is
+    an optional :class:`repro.core.context.RunContext`; when given it
+    is authoritative and ``cache`` is ignored — the sweep executor
+    resolves ambient state exactly once in the parent and ships the
+    value here, so workers never re-derive it from the environment.
 
     ``prune`` is an :func:`parse_prune_spec` interest band: when given,
     the cell is first estimated analytically
@@ -182,6 +191,7 @@ def run_task(task: SweepTask, cache=None, prune: Optional[str] = None) -> Dict:
     import time
 
     from repro.algorithms.registry import ALGORITHMS
+    from repro.core.context import RunContext
     from repro.core.system import (
         default_backend_config,
         estimate_system,
@@ -195,6 +205,8 @@ def run_task(task: SweepTask, cache=None, prune: Optional[str] = None) -> Dict:
             f"unknown algorithm {task.algorithm!r};"
             f" available: {', '.join(ALGORITHMS)}"
         )
+    if context is None:
+        context = RunContext.from_env(cache=cache)
     rules = parse_prune_spec(prune) if prune else None
     start = time.perf_counter()
     graph, _spec = load_dataset(
@@ -211,7 +223,7 @@ def run_task(task: SweepTask, cache=None, prune: Optional[str] = None) -> Dict:
             dataset=task.dataset,
             backend=task.backend,
             chunk_size=task.chunk_size,
-            cache=cache,
+            context=context,
         )
         metrics = est.as_dict()
         reason = prune_reason(metrics, rules)
@@ -243,7 +255,7 @@ def run_task(task: SweepTask, cache=None, prune: Optional[str] = None) -> Dict:
         dataset=task.dataset,
         backend=task.backend,
         chunk_size=task.chunk_size,
-        cache=cache,
+        context=context,
     )
     run_seconds = time.perf_counter() - start
     cache_state = "off"
@@ -271,9 +283,17 @@ def run_task(task: SweepTask, cache=None, prune: Optional[str] = None) -> Dict:
 
 
 def _run_task_in_worker(payload) -> Dict:
-    """Worker-side shim: unpack ``(task dict, cache dir, prune spec)``."""
-    task_dict, cache_dir, prune = payload
-    return run_task(SweepTask(**task_dict), cache=cache_dir, prune=prune)
+    """Worker-side shim: unpack ``(task dict, context spec, prune spec)``.
+
+    The context spec is the :meth:`RunContext.to_spec` dict the parent
+    serialized — workers rebuild the run context from the shipped
+    *values* and never consult their own environment.
+    """
+    from repro.core.context import RunContext
+
+    task_dict, context_spec, prune = payload
+    context = RunContext.from_spec(context_spec)
+    return run_task(SweepTask(**task_dict), prune=prune, context=context)
 
 
 def run_sweep(
@@ -287,21 +307,29 @@ def run_sweep(
 
     ``workers <= 1`` runs inline (no pool, easiest to debug);
     ``workers > 1`` fans tasks across a ``ProcessPoolExecutor``. Rows
-    come back in task order either way. ``cache`` is a trace-store
-    directory (or ``None``/``False``); with multiple workers it must
-    be a filesystem path, since a live store object cannot cross a
-    process boundary — the shared directory is exactly how workers
-    deduplicate generation work. ``prune`` is an estimate-prune spec
+    come back in task order either way. ``cache`` follows
+    :func:`repro.store.resolve_store` semantics; the parent resolves
+    it (and the rest of the ambient state) into one
+    :class:`repro.core.context.RunContext` up front, and workers
+    receive that context's :meth:`~repro.core.context.RunContext.to_spec`
+    serialization — a live store handle crosses the process boundary
+    as its directory path, which is exactly how workers deduplicate
+    generation work. ``prune`` is an estimate-prune spec
     applied to every cell (see :func:`run_task`); pass it here rather
     than pre-filtering so pruned cells still appear as rows.
     """
+    from repro.core.context import RunContext
+
     if prune:
         parse_prune_spec(prune)  # fail fast, before any work runs
     tasks = list(tasks)
+    # Ambient state is resolved exactly once, here in the parent; every
+    # cell (inline or in a worker process) runs under this one value.
+    context = RunContext.from_env(cache=cache)
     if workers <= 1 or len(tasks) <= 1:
         rows = []
         for i, task in enumerate(tasks):
-            rows.append(run_task(task, cache=cache, prune=prune))
+            rows.append(run_task(task, prune=prune, context=context))
             if progress is not None:
                 progress(
                     f"[{i + 1}/{len(tasks)}] {task.algorithm}/{task.dataset}"
@@ -309,15 +337,7 @@ def run_sweep(
                 )
         return rows
 
-    if cache is not None and cache is not False and not isinstance(
-        cache, (str, os.PathLike)
-    ):
-        raise SimulationError(
-            "run_sweep with workers > 1 needs a path-like cache"
-            " (a store object cannot cross process boundaries)"
-        )
-    cache_dir = os.fspath(cache) if cache not in (None, False) else cache
-    payloads = [(asdict(task), cache_dir, prune) for task in tasks]
+    payloads = [(asdict(task), context.to_spec(), prune) for task in tasks]
     rows: List[Optional[Dict]] = [None] * len(tasks)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         done = 0

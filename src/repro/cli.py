@@ -277,6 +277,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all;"
              " suppression hygiene always runs)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the replay-as-a-service HTTP/JSON job server"
+             " (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8357,
+                       help="bind port; 0 picks an ephemeral port"
+                            " (default 8357)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent replay worker threads (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="max live (queued+running) jobs before"
+                            " requests get 429 (default 8)")
+    serve.add_argument("--ledger", metavar="PATH", default=None,
+                       help="append one run-ledger entry per computed job"
+                            " (default: $REPRO_LEDGER when set)")
+    _cache_args(serve)
     return parser
 
 
@@ -661,6 +681,31 @@ def _cmd_report(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.core.context import RunContext
+    from repro.serve import make_server
+
+    context = RunContext.from_env(
+        cache=_resolve_cache(args), ledger_path=args.ledger
+    )
+    server = make_server(
+        host=args.host, port=args.port, context=context,
+        workers=args.workers, queue_depth=args.queue_depth,
+    )
+    host, port = server.server_address[:2]
+    # Exact format is load-bearing: the CI smoke job and the e2e tests
+    # parse the port out of this line (--port 0 binds ephemerally).
+    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -684,6 +729,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -29,11 +29,14 @@ from repro.core.offload import (
     microcode_for_algorithm,
     render_offload_stub,
 )
+from repro.core.context import RunContext, RunRequest
 from repro.core.report import Comparison, SimReport
 from repro.core.sliced import SlicedRunReport, run_sliced, slice_plan
 from repro.core.system import (
     DEFAULT_CHUNK_SIZE,
     compare_systems,
+    estimate_system,
+    run_backends,
     run_graphpim,
     run_locked_cache,
     run_system,
@@ -60,12 +63,16 @@ __all__ = [
     "microcode_for_algorithm",
     "render_offload_stub",
     "Comparison",
+    "RunContext",
+    "RunRequest",
     "SimReport",
     "SlicedRunReport",
     "run_sliced",
     "slice_plan",
     "DEFAULT_CHUNK_SIZE",
     "compare_systems",
+    "estimate_system",
+    "run_backends",
     "run_graphpim",
     "run_locked_cache",
     "run_system",

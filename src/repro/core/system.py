@@ -42,6 +42,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SimConfig
+from repro.core.context import (
+    ENV_ATTRIBUTION,
+    ENV_SEGMENT_EVENTS,
+    RunContext,
+    RunRequest,
+    attribution_from_env,
+    segment_events_from_env,
+)
 from repro.errors import SimulationError
 from repro.graph.csr import CSRGraph
 from repro.graph.degree import degree_classes
@@ -74,11 +82,11 @@ from repro.obs import (
     get_registry,
     get_tracer,
     make_entry,
-    resolve_ledger_path,
+    use_registry,
     use_tracer,
 )
 from repro.obs.attribution import FIELDS as ATTRIBUTION_FIELDS
-from repro.store import TraceStore, resolve_store, trace_key
+from repro.store import TraceStore, trace_key
 
 __all__ = [
     "run_system",
@@ -89,6 +97,10 @@ __all__ = [
     "run_graphpim",
     "default_backend_config",
     "DEFAULT_CHUNK_SIZE",
+    "RunContext",
+    "RunRequest",
+    "ENV_SEGMENT_EVENTS",
+    "ENV_ATTRIBUTION",
 ]
 
 _LOG = logging.getLogger("repro.core.system")
@@ -96,15 +108,9 @@ _LOG = logging.getLogger("repro.core.system")
 #: Default OpenMP-schedule chunk (and matching scratchpad-mapping chunk).
 DEFAULT_CHUNK_SIZE = 32
 
-#: Environment fallback for ``run_system(..., segment_events=...)``:
-#: a positive integer turns on out-of-core streaming for every run in
-#: the process (the CLI flag ``--segment-events`` still wins).
-ENV_SEGMENT_EVENTS = "REPRO_SEGMENT_EVENTS"
-
-#: Environment fallback for ``run_system(..., attribution=...)``: a
-#: truthy value ("1", "true", "on", "yes") turns on per-class traffic
-#: attribution for every run in the process.
-ENV_ATTRIBUTION = "REPRO_ATTRIBUTION"
+# ENV_SEGMENT_EVENTS / ENV_ATTRIBUTION are re-exported from
+# repro.core.context, the single module allowed to read REPRO_*
+# environment variables (their behaviour is unchanged).
 
 #: Report labels for backends whose name differs from the config name.
 _BACKEND_LABELS = {
@@ -216,18 +222,12 @@ def _resolve_segment_events(segment_events: Optional[int]) -> Optional[int]:
     """Fold the explicit argument with ``REPRO_SEGMENT_EVENTS``.
 
     Returns a positive segment size, or ``None`` for in-core replay
-    (the default; 0 and negative values also mean off).
+    (the default; 0 and negative values also mean off). The
+    environment read lives in :mod:`repro.core.context`.
     """
     if segment_events is None:
-        env = os.environ.get(ENV_SEGMENT_EVENTS)
-        if env:
-            try:
-                segment_events = int(env)
-            except ValueError:
-                raise SimulationError(
-                    f"{ENV_SEGMENT_EVENTS}={env!r} is not an integer"
-                )
-    if segment_events is None or int(segment_events) <= 0:
+        return segment_events_from_env()
+    if int(segment_events) <= 0:
         return None
     return int(segment_events)
 
@@ -236,8 +236,7 @@ def _resolve_attribution(attribution: Optional[bool]) -> bool:
     """Fold the explicit argument with ``REPRO_ATTRIBUTION``."""
     if attribution is not None:
         return bool(attribution)
-    env = os.environ.get(ENV_ATTRIBUTION, "").strip().lower()
-    return env in ("1", "true", "on", "yes")
+    return attribution_from_env()
 
 
 def _attribution_spec(
@@ -597,6 +596,7 @@ def _replay_bundle(
     sampler: Optional[ReplaySampler],
     tracer,
     attribution_acc: Optional[AttributionAccumulator] = None,
+    scalar_cache: Optional[bool] = None,
 ) -> SimReport:
     """Replay a prepared trace through one backend and build the report."""
     with tracer.span("prepare_backend", cat="run", backend=backend_name):
@@ -604,6 +604,11 @@ def _replay_bundle(
             bundle, algorithm, config, backend_name, backend_cls,
             chunk_size, sp_chunk_size, pim,
         )
+    # Thread the context's scalar-cache flag onto the backend instance
+    # so the replay driver never consults ambient state on the hot
+    # path (None = no context; the cache system then falls back to
+    # the deprecated env veneer).
+    hierarchy.scalar_cache = scalar_cache
 
     replay_start = time.perf_counter()
     if bundle.segments is not None:
@@ -672,10 +677,35 @@ def _pin_source(graph: CSRGraph, algorithm: str, alg_kwargs: Dict) -> None:
         alg_kwargs["source"] = default_source(graph)
 
 
+def _merge_request(
+    request: Optional[RunRequest],
+    algorithm: Optional[str],
+    alg_kwargs: Dict,
+) -> Optional[RunRequest]:
+    """Validate the request-vs-legacy-kwargs split for the drivers.
+
+    A driver call supplies the workload either through ``request=`` or
+    through the legacy positional/keyword arguments — mixing the two
+    would make precedence ambiguous, so it raises.
+    """
+    if request is None:
+        if algorithm is None:
+            raise SimulationError(
+                "an algorithm is required (positionally or via request=)"
+            )
+        return None
+    if algorithm is not None or alg_kwargs:
+        raise SimulationError(
+            "pass the workload either via request= or via the legacy"
+            " arguments, not both"
+        )
+    return request
+
+
 def run_system(
     graph: CSRGraph,
-    algorithm: str,
-    config: SimConfig,
+    algorithm: Optional[str] = None,
+    config: Optional[SimConfig] = None,
     dataset: str = "",
     chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
     sp_chunk_size: Optional[int] = None,
@@ -692,9 +722,25 @@ def run_system(
     attribution: Optional[bool] = None,
     attribution_path=None,
     ledger_path=None,
+    request: Optional[RunRequest] = None,
+    context: Optional[RunContext] = None,
     **alg_kwargs,
 ) -> SimReport:
     """Run one algorithm on one graph through one system configuration.
+
+    The modern calling convention is two values:
+    ``run_system(graph, request=RunRequest(...), context=RunContext(...))``
+    — the request describes *what* to run (workload, backend, output
+    paths) and the context *with which surroundings* (store, segment
+    size, attribution, ledger, scalar flag, obs sinks). The legacy
+    keyword arguments below remain as a thin compatibility shim and
+    cannot be mixed with ``request=``. When ``context`` is omitted it
+    is built once via :meth:`repro.core.context.RunContext.from_env`,
+    folding the explicit ``cache``/``segment_events``/``attribution``/
+    ``ledger_path`` arguments with the ``REPRO_*`` environment exactly
+    as before; when a ``context`` is given it is authoritative for all
+    of those (the legacy arguments are ignored) and no environment
+    variable is consulted anywhere in the run.
 
     Parameters
     ----------
@@ -786,27 +832,66 @@ def run_system(
         ``repro history``).
     alg_kwargs:
         Extra arguments for the algorithm runner (source vertex, etc.).
+    request:
+        A :class:`~repro.core.context.RunRequest` carrying the
+        workload description instead of the legacy arguments above.
+    context:
+        A :class:`~repro.core.context.RunContext` carrying the run's
+        ambient configuration explicitly. When given, the run is fully
+        stateless with respect to process globals and environment.
     """
-    backend_name = backend or (
-        "omega" if config.use_scratchpad else "baseline"
-    )
+    request = _merge_request(request, algorithm, alg_kwargs)
+    num_cores_hint = 16
+    if request is not None:
+        algorithm = request.algorithm
+        dataset = request.dataset or dataset
+        backend = request.backend if request.backend is not None else backend
+        chunk_size = request.chunk_size
+        sp_chunk_size = request.sp_chunk_size
+        reorder = request.reorder
+        num_cores_hint = request.num_cores
+        manifest_path = request.manifest_path
+        trace_path = request.trace_path
+        timeline_path = request.timeline_path
+        obs_window = request.obs_window
+        attribution_path = request.attribution_path
+        alg_kwargs = dict(request.alg_kwargs)
+    if config is None:
+        backend_name = backend or "omega"
+        config = default_backend_config(
+            backend_name, num_cores=num_cores_hint
+        )
+    else:
+        backend_name = backend or (
+            "omega" if config.use_scratchpad else "baseline"
+        )
     backend_cls = get_backend(backend_name)  # validates the name
     if reorder is None:
         reorder = _REORDER_DEFAULT.get(backend_name, config.use_scratchpad)
     _pin_source(graph, algorithm, alg_kwargs)
-    store = resolve_store(cache)
-    segment_events = _resolve_segment_events(segment_events)
-    if attribution is None and attribution_path is not None:
-        attribution = True
-    want_attribution = _resolve_attribution(attribution)
-    ledger_path = resolve_ledger_path(ledger_path)
+    if context is None:
+        context = RunContext.from_env(
+            cache=cache,
+            segment_events=segment_events,
+            attribution=attribution,
+            attribution_path=attribution_path,
+            ledger_path=ledger_path,
+        )
+    store = context.store
+    segment_events = context.segment_events
+    want_attribution = context.attribution
+    ledger_path = context.ledger_path
 
-    # Observability setup: reuse an installed tracer, or spin up a
-    # private one when a trace file was requested; sample the replay
-    # when a timeline file or an explicit window was requested.
-    tracer = get_tracer()
+    # Observability setup: use the context's sink, else the thread's
+    # installed tracer, or spin up a private one when a trace file was
+    # requested; sample the replay when a timeline file or an explicit
+    # window was requested.
+    tracer = context.tracer if context.tracer is not None else get_tracer()
     if trace_path is not None and not tracer.enabled:
         tracer = SpanTracer()
+    registry = (
+        context.metrics if context.metrics is not None else get_registry()
+    )
     sampler = None
     if timeline_path is not None or obs_window is not None:
         sampler = ReplaySampler(obs_window or 0)
@@ -815,7 +900,7 @@ def run_system(
         algorithm, dataset or "?", backend_name, config.core.num_cores,
     )
 
-    with use_tracer(tracer), tracer.span(
+    with use_tracer(tracer), use_registry(registry), tracer.span(
         "run_system", cat="run", algorithm=algorithm, dataset=dataset,
         backend=backend_name,
     ):
@@ -834,13 +919,13 @@ def run_system(
                 bundle, algorithm, config, backend_name, backend_cls,
                 dataset, chunk_size, sp_chunk_size, energy_model, pim,
                 sampler, tracer, attribution_acc=attribution_acc,
+                scalar_cache=context.scalar_cache,
             )
         finally:
             bundle.cleanup()
 
     if sampler is not None:
         report.timeline = sampler.timeline()
-        registry = get_registry()
         if registry.enabled:
             report.timeline.metrics = registry.snapshot()
 
@@ -872,8 +957,8 @@ def run_system(
 
 def estimate_system(
     graph: CSRGraph,
-    algorithm: str,
-    config: SimConfig,
+    algorithm: Optional[str] = None,
+    config: Optional[SimConfig] = None,
     dataset: str = "",
     chunk_size: Optional[int] = DEFAULT_CHUNK_SIZE,
     sp_chunk_size: Optional[int] = None,
@@ -881,6 +966,8 @@ def estimate_system(
     backend: Optional[str] = None,
     pim=None,
     cache=None,
+    request: Optional[RunRequest] = None,
+    context: Optional[RunContext] = None,
     **alg_kwargs,
 ) -> "ReplayEstimate":
     """Predict a run's headline counters without replaying it.
@@ -895,17 +982,37 @@ def estimate_system(
 
     Always runs in-core (the estimator needs the whole interleaved
     trace resident); out-of-core streaming does not apply here.
+    Accepts ``request=``/``context=`` exactly like :func:`run_system`.
     Returns the :class:`~repro.memsim.estimate.ReplayEstimate`.
     """
-    backend_name = backend or (
-        "omega" if config.use_scratchpad else "baseline"
-    )
+    request = _merge_request(request, algorithm, alg_kwargs)
+    num_cores_hint = 16
+    if request is not None:
+        algorithm = request.algorithm
+        dataset = request.dataset or dataset
+        backend = request.backend if request.backend is not None else backend
+        chunk_size = request.chunk_size
+        sp_chunk_size = request.sp_chunk_size
+        reorder = request.reorder
+        num_cores_hint = request.num_cores
+        alg_kwargs = dict(request.alg_kwargs)
+    if config is None:
+        backend_name = backend or "omega"
+        config = default_backend_config(
+            backend_name, num_cores=num_cores_hint
+        )
+    else:
+        backend_name = backend or (
+            "omega" if config.use_scratchpad else "baseline"
+        )
     backend_cls = get_backend(backend_name)
     if reorder is None:
         reorder = _REORDER_DEFAULT.get(backend_name, config.use_scratchpad)
     _pin_source(graph, algorithm, alg_kwargs)
-    store = resolve_store(cache)
-    tracer = get_tracer()
+    if context is None:
+        context = RunContext.from_env(cache=cache)
+    store = context.store
+    tracer = context.tracer if context.tracer is not None else get_tracer()
     _LOG.info(
         "estimate_system: algorithm=%s dataset=%s backend=%s cores=%d",
         algorithm, dataset or "?", backend_name, config.core.num_cores,
@@ -919,6 +1026,7 @@ def estimate_system(
             bundle, algorithm, config, backend_name, backend_cls,
             chunk_size, sp_chunk_size, pim,
         )
+        hierarchy.scalar_cache = context.scalar_cache
         with tracer.span("estimate", cat="run", backend=backend_name,
                          events=bundle.num_events):
             return estimate_replay(hierarchy, bundle.trace)
@@ -928,8 +1036,8 @@ def estimate_system(
 
 def run_backends(
     graph: CSRGraph,
-    algorithm: str,
-    backends: Sequence[str],
+    algorithm: Optional[str] = None,
+    backends: Sequence[str] = (),
     configs: Optional[Dict[str, SimConfig]] = None,
     dataset: str = "",
     num_cores: int = 16,
@@ -939,6 +1047,8 @@ def run_backends(
     energy_model: Optional[EnergyModel] = None,
     pim=None,
     cache=None,
+    request: Optional[RunRequest] = None,
+    context: Optional[RunContext] = None,
     **alg_kwargs,
 ) -> Dict[str, SimReport]:
     """Replay one workload through several backends, sharing traces.
@@ -956,7 +1066,22 @@ def run_backends(
     backend name to its :class:`SimConfig` (defaults per backend via
     :func:`default_backend_config` with ``num_cores``). Returns an
     ordered ``{backend name: SimReport}`` in the order requested.
+
+    Like :func:`run_system`, the workload may arrive as a
+    :class:`~repro.core.context.RunRequest` (``request=``) and ambient
+    state as an explicit :class:`~repro.core.context.RunContext`
+    (``context=``); a ``request.backend`` here is ignored — ``backends``
+    names the set to sweep.
     """
+    request = _merge_request(request, algorithm, alg_kwargs)
+    if request is not None:
+        algorithm = request.algorithm
+        dataset = request.dataset or dataset
+        chunk_size = request.chunk_size
+        sp_chunk_size = request.sp_chunk_size
+        reorder = request.reorder
+        num_cores = request.num_cores
+        alg_kwargs = dict(request.alg_kwargs)
     if not backends:
         raise SimulationError("run_backends needs at least one backend name")
     configs = dict(configs or {})
@@ -967,8 +1092,10 @@ def run_backends(
             name, num_cores=num_cores
         )
     _pin_source(graph, algorithm, alg_kwargs)
-    store = resolve_store(cache)
-    tracer = get_tracer()
+    if context is None:
+        context = RunContext.from_env(cache=cache)
+    store = context.store
+    tracer = context.tracer if context.tracer is not None else get_tracer()
 
     bundles: Dict[Tuple, _TraceBundle] = {}
     reports: Dict[str, SimReport] = {}
@@ -995,6 +1122,7 @@ def run_backends(
             reports[name] = _replay_bundle(
                 bundle, algorithm, config, name, get_backend(name), dataset,
                 chunk_size, sp_chunk_size, energy_model, pim, None, tracer,
+                scalar_cache=context.scalar_cache,
             )
     return reports
 

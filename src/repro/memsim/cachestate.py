@@ -65,8 +65,7 @@ vectorized up front.
 
 from __future__ import annotations
 
-import os
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -96,8 +95,18 @@ SCALAR_CACHE_ENV = "REPRO_SCALAR_CACHE"
 
 
 def scalar_cache_forced() -> bool:
-    """Whether ``REPRO_SCALAR_CACHE=1`` selects the scalar oracle."""
-    return os.environ.get(SCALAR_CACHE_ENV, "") == "1"
+    """Whether ``REPRO_SCALAR_CACHE=1`` selects the scalar oracle.
+
+    Deprecated ambient veneer: the environment read delegates to
+    :func:`repro.core.context.scalar_cache_from_env`. Runs driven
+    through ``run_system`` resolve the flag once on their
+    :class:`repro.core.context.RunContext` and pass it explicitly, so
+    this is only consulted when :class:`CacheSystem` is constructed
+    without an explicit ``scalar_cache`` argument.
+    """
+    from repro.core.context import scalar_cache_from_env
+
+    return scalar_cache_from_env()
 
 
 class CacheRecord:
@@ -429,7 +438,8 @@ class CacheSystem:
     """
 
     def __init__(self, config: SimConfig, stats: MemStats,
-                 dram: DramModel, crossbar: Crossbar) -> None:
+                 dram: DramModel, crossbar: Crossbar,
+                 scalar_cache: Optional[bool] = None) -> None:
         ncores = config.core.num_cores
         self.config = config
         self.stats = stats
@@ -459,8 +469,13 @@ class CacheSystem:
         self.prefetcher = StreamDetector(ncores)
         #: Whether replay_cache_path may use the batch kernel. The
         #: kernel covers every topology and page policy; only the
-        #: escape hatches disable it.
-        self.fast_path_ok = not scalar_cache_forced()
+        #: escape hatches disable it. ``scalar_cache`` is threaded
+        #: from the run's :class:`repro.core.context.RunContext`;
+        #: ``None`` (direct construction) falls back to the deprecated
+        #: ambient :func:`scalar_cache_forced` veneer.
+        if scalar_cache is None:
+            scalar_cache = scalar_cache_forced()
+        self.fast_path_ok = not scalar_cache
         #: Screening/grouping counters accumulated over every kernel
         #: batch this system replays (see :class:`KernelTelemetry`).
         self.kernel_telemetry = KernelTelemetry()

@@ -207,7 +207,13 @@ def estimate_replay(backend, trace: Trace) -> ReplayEstimate:
     dram = DramModel(config.dram)
     dram.set_random_ranges(backend.dram_random_ranges)
     crossbar = Crossbar(config.interconnect, ncores)
-    system = CacheSystem(config, stats, dram, crossbar)
+    system = CacheSystem(
+        config, stats, dram, crossbar,
+        scalar_cache=(
+            True if backend.force_scalar_cache
+            else getattr(backend, "scalar_cache", None)
+        ),
+    )
     ctx = ReplayContext(
         config=config, stats=stats, dram=dram, crossbar=crossbar,
         system=system, ncores=ncores, ledger=LatencyLedger(ncores),

@@ -173,9 +173,13 @@ def _run(backend, source, sampler: Optional[ReplaySampler],
         dram = DramModel(config.dram)
         dram.set_random_ranges(backend.dram_random_ranges)
         crossbar = Crossbar(config.interconnect, ncores)
-        system = CacheSystem(config, stats, dram, crossbar)
-        if backend.force_scalar_cache:
-            system.fast_path_ok = False
+        system = CacheSystem(
+            config, stats, dram, crossbar,
+            scalar_cache=(
+                True if backend.force_scalar_cache
+                else getattr(backend, "scalar_cache", None)
+            ),
+        )
         ledger = LatencyLedger(ncores)
         ctx = ReplayContext(
             config=config, stats=stats, dram=dram, crossbar=crossbar,

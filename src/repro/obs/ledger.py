@@ -51,12 +51,16 @@ def resolve_ledger_path(explicit=None) -> Optional[str]:
 
     Returns ``None`` (ledger disabled) when neither is set; an empty
     environment value also disables it, so ``REPRO_LEDGER= repro run``
-    overrides an ambient setting.
+    overrides an ambient setting. The environment read delegates to
+    :func:`repro.core.context.ledger_path_from_env` (the one module
+    allowed to touch ``REPRO_*``); prefer carrying the path on a
+    :class:`repro.core.context.RunContext`.
     """
     if explicit is not None:
         return os.fspath(explicit)
-    env = os.environ.get(ENV_LEDGER, "")
-    return env or None
+    from repro.core.context import ledger_path_from_env
+
+    return ledger_path_from_env()
 
 
 def git_rev() -> Optional[str]:

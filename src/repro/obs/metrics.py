@@ -29,6 +29,7 @@ scope (:func:`use_registry`)::
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -256,29 +257,33 @@ class NullRegistry(MetricsRegistry):
 #: The process-wide disabled registry (the default).
 NULL_REGISTRY = NullRegistry()
 
-_current_registry: MetricsRegistry = NULL_REGISTRY
+# Per-thread like the tracer: concurrent runs (serve workers, the
+# two-store regression test) each install their own registry without
+# clobbering each other. Threads that never install one see NULL_REGISTRY.
+_current = threading.local()
 
 
 def get_registry() -> MetricsRegistry:
-    """The currently installed registry (no-op by default)."""
-    return _current_registry
+    """The registry installed in this thread (no-op by default)."""
+    return getattr(_current, "registry", NULL_REGISTRY)
 
 
 def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
-    """Install ``registry`` globally; ``None`` restores the null one.
+    """Install ``registry`` for this thread; ``None`` restores the null
+    one.
 
     Returns the previously installed registry so callers can restore
     it (or use :func:`use_registry` for scoped installation).
     """
-    global _current_registry
-    previous = _current_registry
-    _current_registry = registry if registry is not None else NULL_REGISTRY
+    previous = get_registry()
+    _current.registry = registry if registry is not None else NULL_REGISTRY
     return previous
 
 
 @contextmanager
 def use_registry(registry: MetricsRegistry):
-    """Context manager: install ``registry`` for the enclosed scope."""
+    """Context manager: install ``registry`` for the enclosed scope
+    (thread-locally)."""
     previous = set_registry(registry)
     try:
         yield registry

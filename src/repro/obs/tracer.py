@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -275,28 +276,33 @@ class NullTracer:
 #: The process-wide disabled tracer (the default).
 NULL_TRACER = NullTracer()
 
-_current_tracer = NULL_TRACER
+# The installed tracer is *per thread*: a `repro serve` worker (or any
+# concurrent run_system caller) that installs its own tracer via
+# use_tracer must not clobber the tracer another thread is emitting
+# into. Threads that never install anything see the shared NULL_TRACER.
+_current = threading.local()
 
 
 def get_tracer():
-    """The currently installed tracer (no-op by default)."""
-    return _current_tracer
+    """The tracer installed in this thread (no-op by default)."""
+    return getattr(_current, "tracer", NULL_TRACER)
 
 
 def set_tracer(tracer: Optional[SpanTracer]):
-    """Install ``tracer`` globally; ``None`` restores the null tracer.
+    """Install ``tracer`` for this thread; ``None`` restores the null
+    tracer.
 
     Returns the previously installed tracer.
     """
-    global _current_tracer
-    previous = _current_tracer
-    _current_tracer = tracer if tracer is not None else NULL_TRACER
+    previous = get_tracer()
+    _current.tracer = tracer if tracer is not None else NULL_TRACER
     return previous
 
 
 @contextmanager
 def use_tracer(tracer):
-    """Context manager: install ``tracer`` for the enclosed scope."""
+    """Context manager: install ``tracer`` for the enclosed scope
+    (thread-locally)."""
     previous = set_tracer(tracer)
     try:
         yield tracer

@@ -1,0 +1,34 @@
+"""Replay-as-a-service: the ``repro serve`` HTTP/JSON job server.
+
+Split in two layers:
+
+- :mod:`repro.serve.jobs` — the transport-free job model: spec
+  hashing (reusing the trace store's canonicalization), request
+  coalescing, the bounded warm-manifest cache, queue backpressure.
+- :mod:`repro.serve.server` — the stdlib HTTP veneer and the
+  production runner that maps a job spec onto
+  :func:`repro.core.system.run_system` under an isolated
+  :class:`repro.core.context.RunContext`.
+
+See ``docs/serving.md`` for the wire API and operational notes.
+"""
+
+from repro.serve.jobs import Job, JobManager, JobSpec, QueueFullError, job_key
+from repro.serve.server import (
+    ReproServer,
+    make_server,
+    make_system_runner,
+    run_server,
+)
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "QueueFullError",
+    "job_key",
+    "ReproServer",
+    "make_server",
+    "make_system_runner",
+    "run_server",
+]

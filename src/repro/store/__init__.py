@@ -13,6 +13,7 @@ from repro.store.store import (
     StoreEntry,
     TraceStore,
     get_store,
+    installed_store,
     normalize_kwargs,
     reset_store,
     resolve_store,
@@ -29,6 +30,7 @@ __all__ = [
     "StoreEntry",
     "TraceStore",
     "get_store",
+    "installed_store",
     "normalize_kwargs",
     "reset_store",
     "resolve_store",

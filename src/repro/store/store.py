@@ -79,6 +79,7 @@ __all__ = [
     "get_store",
     "set_store",
     "use_store",
+    "installed_store",
     "resolve_store",
 ]
 
@@ -182,11 +183,13 @@ class TraceStore:
     ) -> None:
         self.root = Path(root)
         if capacity_bytes is None:
-            env_mb = os.environ.get(ENV_CACHE_CAPACITY_MB)
+            # Deprecated ambient fallback; environment reads live in
+            # repro.core.context (imported lazily — the context module
+            # itself imports this one).
+            from repro.core.context import cache_capacity_from_env
+
             capacity_bytes = (
-                int(float(env_mb) * 1024 * 1024)
-                if env_mb
-                else DEFAULT_CAPACITY_BYTES
+                cache_capacity_from_env() or DEFAULT_CAPACITY_BYTES
             )
         if capacity_bytes <= 0:
             raise TraceError(
@@ -517,31 +520,59 @@ class TraceStore:
 
 
 # ----------------------------------------------------------------------
-# Ambient store
+# Ambient store (deprecated compatibility veneer)
+#
+# The process-global resolution below predates the explicit
+# :class:`repro.core.context.RunContext`. It is retained so existing
+# callers keep working, but it is *not* reentrant: the globals are
+# process-wide, so two threads using set_store/use_store race each
+# other. New code should build a RunContext (whose ``from_env``
+# honours an installed store via :func:`installed_store`) and pass it
+# to run_system explicitly.
 # ----------------------------------------------------------------------
 _ambient_store: Optional[TraceStore] = None
 _ambient_installed = False
 
 
+def installed_store() -> Tuple[bool, Optional[TraceStore]]:
+    """The explicitly installed ambient store, without any env reads.
+
+    Returns ``(installed, store)``: ``installed`` is True after
+    :func:`set_store`/:func:`use_store` (even for ``set_store(None)``,
+    which pins caching off). :meth:`repro.core.context.RunContext.from_env`
+    consults this before falling back to ``REPRO_CACHE_DIR``, so the
+    deprecated global keeps winning exactly as it used to.
+    """
+    return _ambient_installed, _ambient_store
+
+
 def get_store() -> Optional[TraceStore]:
     """The ambient trace store, or ``None`` when caching is disabled.
 
-    An explicitly installed store (:func:`set_store`/:func:`use_store`)
-    wins; otherwise the ``REPRO_CACHE_DIR`` environment variable names
-    the store root. With neither, caching is off — the library never
-    writes outside directories it was pointed at.
+    Deprecated veneer: an explicitly installed store
+    (:func:`set_store`/:func:`use_store`) wins; otherwise resolution
+    delegates to :func:`repro.core.context.store_from_env` (the
+    ``REPRO_CACHE_DIR`` environment variable). With neither, caching
+    is off — the library never writes outside directories it was
+    pointed at. Prefer carrying a store on a
+    :class:`repro.core.context.RunContext`.
     """
     if _ambient_installed:
         return _ambient_store
-    root = os.environ.get(ENV_CACHE_DIR)
-    return TraceStore(root) if root else None
+    from repro.core.context import store_from_env
+
+    return store_from_env()
 
 
 def set_store(store: Optional[TraceStore]) -> None:
     """Install ``store`` as the process-wide ambient trace store.
 
-    ``set_store(None)`` pins caching *off* regardless of environment;
-    call :func:`reset_store` to restore environment-driven resolution.
+    Deprecated: the global is process-wide, not per-run — concurrent
+    runs should pass a store on a
+    :class:`repro.core.context.RunContext` instead. ``set_store(None)``
+    pins caching *off* regardless of environment (the explicit
+    per-run analogue is ``RunContext(store=None)``); call
+    :func:`reset_store` to restore environment-driven resolution.
     """
     global _ambient_store, _ambient_installed
     _ambient_store = store
@@ -557,7 +588,18 @@ def reset_store() -> None:
 
 @contextmanager
 def use_store(store: Optional[TraceStore]):
-    """Context manager installing ``store`` for the enclosed scope."""
+    """Context manager installing ``store`` for the enclosed scope.
+
+    .. deprecated::
+        ``use_store`` mutates process-wide globals and is **not
+        thread-safe**: a second thread entering or leaving the context
+        manager interleaves save/restore of the shared slot, and any
+        concurrent ``run_system`` resolves whichever store happens to
+        be installed at that instant. Pass the store explicitly —
+        ``run_system(..., cache=store)`` or
+        ``run_system(..., context=RunContext(store=store))`` — for
+        anything concurrent.
+    """
     global _ambient_store, _ambient_installed
     prev_store, prev_installed = _ambient_store, _ambient_installed
     _ambient_store = store

@@ -1,0 +1,121 @@
+"""ENV001: ambient environment reads outside repro.core.context."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree, make_tree
+
+
+def env(root):
+    result = run_battery(root, rules=["ENV001"])
+    return [f for f in result.findings if f.rule == "ENV001"]
+
+
+def test_getenv_in_library_code_flagged(tree):
+    root = tree({
+        "src/repro/memsim/knobs.py": """\
+            import os
+
+            def scalar_forced():
+                return os.getenv("REPRO_SCALAR_CACHE") == "1"
+            """,
+    })
+    findings = env(root)
+    assert len(findings) == 1
+    assert "os.getenv" in findings[0].message
+    assert findings[0].severity == "error"
+
+
+def test_environ_get_and_subscript_flagged(tree):
+    root = tree({
+        "src/repro/store/knobs.py": """\
+            import os
+
+            def cache_dir():
+                return os.environ.get("REPRO_CACHE_DIR")
+
+            def capacity():
+                return os.environ["REPRO_CACHE_CAPACITY_MB"]
+            """,
+    })
+    findings = env(root)
+    assert len(findings) == 2
+    assert any("os.environ.get" in f.message for f in findings)
+    assert any("os.environ[...]" in f.message for f in findings)
+
+
+def test_membership_probe_flagged(tree):
+    root = tree({
+        "src/repro/obs/knobs.py": """\
+            import os
+
+            def ledger_enabled():
+                return "REPRO_LEDGER" in os.environ
+            """,
+    })
+    findings = env(root)
+    assert len(findings) == 1
+    assert "in os.environ" in findings[0].message
+
+
+def test_from_import_alias_resolution(tree):
+    root = tree({
+        "src/repro/core/run.py": """\
+            from os import environ, getenv
+
+            def a():
+                return getenv("REPRO_X")
+
+            def b():
+                return environ.get("REPRO_Y")
+            """,
+    })
+    assert len(env(root)) == 2
+
+
+def test_context_module_is_allowed(tree):
+    root = tree({
+        "src/repro/core/context.py": """\
+            import os
+
+            def ledger_path_from_env():
+                return os.environ.get("REPRO_LEDGER") or None
+            """,
+    })
+    assert env(root) == []
+
+
+def test_entry_points_are_allowed(tree):
+    root = tree({
+        "src/repro/cli.py": """\
+            import os
+
+            def debug():
+                return os.getenv("REPRO_DEBUG")
+            """,
+        "src/repro/analyze/project.py": """\
+            import os
+
+            def columns():
+                return os.environ.get("COLUMNS")
+            """,
+    })
+    assert env(root) == []
+
+
+def test_suppression_comment_honoured(tmp_path):
+    make_tree(tmp_path, {
+        "src/repro/memsim/knobs.py": """\
+            import os
+
+            def probe():
+                return os.getenv("REPRO_X")  # repro: noqa[ENV001] -- test
+            """,
+    })
+    result = run_battery(tmp_path, rules=["ENV001"])
+    assert [f for f in result.findings if f.rule == "ENV001"] == []
+    assert result.ok
+
+
+def test_real_checkout_fixture_is_clean():
+    # The dedicated clean fixture stays quiet under ENV001 too.
+    assert env(fixture_tree("clean")) == []

@@ -29,7 +29,7 @@ def test_battery_rules_cover_the_advertised_families():
     result = run_battery(REPO_ROOT)
     ids = {info.id for info in result.rules}
     assert {"DET001", "CNT001", "RTE001", "PRT001", "DOC001",
-            "SUP001"} <= ids
+            "SUP001", "ENV001"} <= ids
 
 
 @pytest.fixture
@@ -94,6 +94,17 @@ def test_dropping_the_route_accounting_trips_rte001(scratch_src):
     assert needle in text
     omega.write_text(text.replace(needle, ""))
     assert "RTE001" in _rules_fired(scratch_src)
+
+
+def test_ambient_env_read_trips_env001(scratch_src):
+    ledger = scratch_src / "src/repro/obs/ledger.py"
+    with ledger.open("a") as fh:
+        fh.write(
+            "\n\ndef _ambient_ledger():\n"
+            "    import os\n"
+            "    return os.environ.get('REPRO_LEDGER')\n"
+        )
+    assert "ENV001" in _rules_fired(scratch_src)
 
 
 def test_snapshotting_a_ghost_counter_trips_cnt001(scratch_src):
