@@ -15,6 +15,13 @@ Findings can be suppressed inline with an explicit reason::
 See ``docs/static-analysis.md`` for the rule catalog.
 """
 
+from repro.analyze.baseline import (
+    BASELINE_SCHEMA,
+    load_baseline,
+    write_baseline,
+)
+from repro.analyze.cache import CacheStats, LintCache
+from repro.analyze.callgraph import CallGraph
 from repro.analyze.emit import (
     LINT_SCHEMA,
     SARIF_VERSION,
@@ -30,11 +37,15 @@ from repro.analyze.runner import BatteryResult, run_battery
 from repro.analyze.suppress import SUPPRESSION_RULE, Suppressions
 
 __all__ = [
+    "BASELINE_SCHEMA",
     "LINT_SCHEMA",
     "SARIF_VERSION",
     "AnalysisError",
     "BatteryResult",
+    "CacheStats",
+    "CallGraph",
     "Finding",
+    "LintCache",
     "ProjectIndex",
     "RuleInfo",
     "SUPPRESSION_RULE",
@@ -44,10 +55,12 @@ __all__ = [
     "all_rules",
     "dump_json",
     "get_rule",
+    "load_baseline",
     "rule",
     "rule_ids",
     "run_battery",
     "to_json",
     "to_sarif",
     "to_text",
+    "write_baseline",
 ]

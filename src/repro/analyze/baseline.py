@@ -1,0 +1,106 @@
+"""Baseline ratchet: accepted findings that don't fail the battery.
+
+A baseline file lets a new rule land *strict on new code* even when a
+finding is consciously accepted in-tree: ``repro lint --baseline
+PATH`` subtracts the recorded findings from the exit-code computation
+(they are still reported, separately, as "baselined"), and
+``--update-baseline`` rewrites the file to the current findings.
+
+Entries are fingerprinted by ``(rule, path, message)`` — deliberately
+line-independent, so unrelated edits that shift a baselined finding a
+few lines do not resurrect it, while any change to what the rule
+actually reports (a new attribute name, a different dtype) does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analyze.findings import Finding
+from repro.errors import ReproError
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "fingerprint",
+    "load_baseline",
+    "split_baselined",
+    "write_baseline",
+]
+
+#: Schema tag of the baseline file.
+BASELINE_SCHEMA = "omega-repro/lint-baseline/v1"
+
+#: A finding's identity in the baseline: (rule, path, message).
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """Line-independent identity of a finding."""
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: "str | Path") -> Set[Fingerprint]:
+    """Parse a baseline file into a set of fingerprints.
+
+    Raises :class:`ReproError` (a usage error — exit 2) on unreadable
+    or malformed files: a typo'd baseline must never silently accept
+    everything.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ReproError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"baseline {path} is not a {BASELINE_SCHEMA} document"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise ReproError(f"baseline {path} has no entries list")
+    out: Set[Fingerprint] = set()
+    for entry in entries:
+        try:
+            out.add((entry["rule"], entry["path"], entry["message"]))
+        except (KeyError, TypeError):
+            raise ReproError(
+                f"baseline {path} entry missing rule/path/message:"
+                f" {entry!r}"
+            ) from None
+    return out
+
+
+def write_baseline(path: "str | Path",
+                   findings: Iterable[Finding]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = sorted({fingerprint(f) for f in findings})
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    return len(entries)
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Set[Fingerprint]
+) -> "Tuple[List[Finding], List[Finding]]":
+    """Split findings into (new, baselined) against a fingerprint set."""
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in findings:
+        if fingerprint(finding) in baseline:
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    return new, accepted

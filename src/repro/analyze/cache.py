@@ -1,0 +1,158 @@
+"""Content-hash-keyed incremental cache for the invariant battery.
+
+Two layers, both keyed purely on content (never on mtimes, so the
+cache is safe across checkouts and CI machines):
+
+- **module cache** (``modules.pkl``) — per-file parsed ASTs keyed by
+  a blake2b digest of the file's text. A warm run re-parses only the
+  modules whose digest changed.
+- **battery cache** (``battery.json``) — the full battery outcome
+  (findings + suppressed) keyed over *every* input the rules consume:
+  all source digests, all doc-page digests, the selected rule ids and
+  the analyzer version. When the key matches, the rules are skipped
+  entirely and the recorded findings are replayed — byte-identical by
+  construction, since reports are rendered from the same Finding
+  values through deterministic emitters.
+
+Corrupt or stale cache files are never an error: they fall back to a
+cold run and are rewritten.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analyze.findings import Finding
+
+__all__ = ["CACHE_FORMAT", "CacheStats", "LintCache", "battery_key"]
+
+#: Format tag of both cache files; bump to invalidate old caches.
+CACHE_FORMAT = "omega-repro/lint-cache/v1"
+
+
+class CacheStats:
+    """What the cache did for one battery run (CLI/CI telemetry)."""
+
+    def __init__(self, enabled: bool = False, battery_hit: bool = False,
+                 modules_total: int = 0, modules_reused: int = 0) -> None:
+        #: Whether a cache directory was in play at all.
+        self.enabled = enabled
+        #: Whether the whole battery outcome was replayed from cache.
+        self.battery_hit = battery_hit
+        self.modules_total = modules_total
+        self.modules_reused = modules_reused
+
+    def describe(self) -> str:
+        """One log line: ``cold``/``warm``/``partial`` plus counts."""
+        if not self.enabled:
+            return "off"
+        if self.battery_hit:
+            return (
+                f"warm (battery cache hit;"
+                f" {self.modules_total} modules unchanged)"
+            )
+        if self.modules_reused:
+            return (
+                f"partial ({self.modules_reused}/{self.modules_total}"
+                f" modules reused; rules re-ran)"
+            )
+        return f"cold (0/{self.modules_total} modules reused)"
+
+
+def battery_key(file_digests: Mapping[str, str],
+                doc_pages: Mapping[str, str],
+                rule_ids: Sequence[str],
+                version: str) -> str:
+    """Digest over everything the battery's outcome depends on."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "version": version,
+        "rules": sorted(set(rule_ids)),
+        "files": sorted(file_digests.items()),
+        "docs": sorted(
+            (path, hashlib.blake2b(
+                text.encode(), digest_size=16
+            ).hexdigest())
+            for path, text in doc_pages.items()
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+class LintCache:
+    """Reader/writer for one ``.repro-lint-cache`` directory."""
+
+    def __init__(self, cache_dir: "str | Path") -> None:
+        self.dir = Path(cache_dir)
+        self._modules_file = self.dir / "modules.pkl"
+        self._battery_file = self.dir / "battery.json"
+
+    # -- module layer --------------------------------------------------
+    def load_modules(self) -> Dict[str, Tuple[str, ast.Module]]:
+        """Cached parse results: rel path → (digest, tree)."""
+        try:
+            with self._modules_file.open("rb") as fh:
+                blob = pickle.load(fh)
+            if blob.get("format") != CACHE_FORMAT:
+                return {}
+            modules = blob.get("modules", {})
+            return dict(modules) if isinstance(modules, dict) else {}
+        except Exception:  # repro: noqa[EXC001] -- a corrupt/old pickle (any unpickling error) must fall back to a cold parse, never crash the lint
+            return {}
+
+    def save_modules(
+        self, modules: Mapping[str, Tuple[str, ast.Module]]
+    ) -> None:
+        """Persist parse results for the next run (best effort)."""
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            with self._modules_file.open("wb") as fh:
+                pickle.dump(
+                    {"format": CACHE_FORMAT, "modules": dict(modules)},
+                    fh, protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        except OSError:
+            pass  # read-only checkout: the cache is an optimization
+
+    # -- battery layer -------------------------------------------------
+    def load_battery(
+        self, key: str
+    ) -> Optional[Tuple[List[Finding], List[Finding]]]:
+        """Recorded (findings, suppressed) when ``key`` matches."""
+        try:
+            doc = json.loads(self._battery_file.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("format") != CACHE_FORMAT:
+            return None
+        if doc.get("key") != key:
+            return None
+        try:
+            findings = [Finding(**f) for f in doc["findings"]]
+            suppressed = [Finding(**f) for f in doc["suppressed"]]
+        except (KeyError, TypeError):
+            return None
+        return findings, suppressed
+
+    def save_battery(self, key: str, findings: Sequence[Finding],
+                     suppressed: Sequence[Finding]) -> None:
+        """Record a battery outcome under ``key`` (best effort)."""
+        doc = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "findings": [f.__dict__ for f in findings],
+            "suppressed": [f.__dict__ for f in suppressed],
+        }
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            self._battery_file.write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError:
+            pass

@@ -1,0 +1,153 @@
+"""Intraprocedural dataflow: reaching definitions and lock regions.
+
+Two small frameworks the whole-program rules share:
+
+- :class:`FunctionFlow` — a linear reaching-definitions approximation
+  over one function body: ``reaching(name, lineno)`` answers "what
+  expression was last assigned to ``name`` before this line". Linear
+  (source order, no branch merging) is the right fidelity for a
+  linter: the codebase's accumulators and executor handles are defined
+  once, straight-line, before use.
+- :class:`LockContext` — "accessed-under-lock" tracking for ``with
+  self._lock:`` regions: every qualifying ``with`` statement's line
+  span is recorded, and ``covers(lineno)`` answers whether a statement
+  executes inside one.
+
+Neither framework imports the code it models — everything is derived
+from the AST alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FunctionFlow", "LockContext", "walk_function_body"]
+
+
+def walk_function_body(func: ast.AST) -> Iterator[ast.AST]:
+    """Yield every node of ``func``'s own body, skipping nested defs.
+
+    Nested function/class definitions are their own analysis units —
+    statements inside them do not execute when the outer function runs.
+    The nested ``def``/``class`` node itself is still yielded (so
+    callers can see that it exists), but its body is not entered.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class FunctionFlow:
+    """Linear reaching-definitions view of one function body.
+
+    Records, in source order, every binding of a local name: plain and
+    annotated assignments keep their value expression; ``with ... as
+    name`` keeps the context expression; loop targets and tuple
+    unpacking record an *opaque* binding (the binding is known, the
+    value is not), which deliberately blocks resolution — a name whose
+    last binding is opaque resolves to ``None``.
+    """
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        #: name → [(lineno, value expression or None)], source order.
+        self._defs: Dict[str, List[Tuple[int, Optional[ast.expr]]]] = {}
+        #: parameter name → annotation expression (or None).
+        self._params: Dict[str, Optional[ast.expr]] = {}
+        args = getattr(func, "args", None)
+        if args is not None:
+            every = (
+                list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+            for a in every:
+                self._params[a.arg] = a.annotation
+        for node in walk_function_body(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._bind_target(target, node.value, node.lineno)
+            elif isinstance(node, ast.AnnAssign):
+                self._bind_target(node.target, node.value, node.lineno)
+            elif isinstance(node, ast.AugAssign):
+                # x += e keeps x's original definition (the accumulator
+                # target's identity is what the rules ask about).
+                continue
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(
+                            item.optional_vars, item.context_expr,
+                            node.lineno,
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._bind_target(node.target, None, node.lineno)
+        for defs in self._defs.values():
+            defs.sort(key=lambda d: d[0])
+
+    def _bind_target(self, target: ast.expr,
+                     value: Optional[ast.expr], lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            self._defs.setdefault(target.id, []).append((lineno, value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, None, lineno)
+        # attribute/subscript targets are not local-name bindings
+
+    # -- queries -------------------------------------------------------
+    def reaching(self, name: str, lineno: int) -> Optional[ast.expr]:
+        """Value expression of the last binding of ``name`` before
+        ``lineno`` (inclusive), or ``None`` when there is none or the
+        binding is opaque (loop target, tuple unpack)."""
+        best: Optional[Tuple[int, Optional[ast.expr]]] = None
+        for defined_at, value in self._defs.get(name, []):
+            if defined_at <= lineno:
+                best = (defined_at, value)
+            else:
+                break
+        return best[1] if best else None
+
+    def is_param(self, name: str) -> bool:
+        """Whether ``name`` is one of the function's parameters."""
+        return name in self._params
+
+    def is_local(self, name: str) -> bool:
+        """Whether ``name`` is bound anywhere in the function body."""
+        return name in self._defs or name in self._params
+
+    def param_annotation(self, name: str) -> Optional[ast.expr]:
+        """The annotation expression of parameter ``name``, if any."""
+        return self._params.get(name)
+
+
+class LockContext:
+    """Which lines of a function execute under a held lock.
+
+    ``is_lock_expr`` decides whether one ``with`` item's context
+    expression acquires a lock (the race rule passes a predicate that
+    recognizes ``self.<lock attribute>``). Every qualifying ``with``
+    statement contributes its full line span; ``covers(lineno)`` is
+    then a span-containment test — lexical nesting is exactly the
+    with-statement's dynamic extent for straight-line code.
+    """
+
+    def __init__(self, func: ast.AST,
+                 is_lock_expr: Callable[[ast.expr], bool]) -> None:
+        self._spans: List[Tuple[int, int]] = []
+        for node in walk_function_body(func):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if any(is_lock_expr(item.context_expr) for item in node.items):
+                end = getattr(node, "end_lineno", None) or node.lineno
+                self._spans.append((node.lineno, end))
+
+    def covers(self, lineno: int) -> bool:
+        """Whether ``lineno`` falls inside a lock-guarded region."""
+        return any(lo <= lineno <= hi for lo, hi in self._spans)

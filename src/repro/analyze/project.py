@@ -13,12 +13,21 @@ lints.
 from __future__ import annotations
 
 import ast
+import hashlib
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import ReproError
 
-__all__ = ["SourceModule", "ProjectIndex", "AnalysisError"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analyze.callgraph import CallGraph
+
+__all__ = ["SourceModule", "ProjectIndex", "AnalysisError", "source_digest"]
+
+
+def source_digest(source: str) -> str:
+    """Content hash of one source file (the incremental-cache key)."""
+    return hashlib.blake2b(source.encode(), digest_size=16).hexdigest()
 
 
 class AnalysisError(ReproError):
@@ -29,7 +38,7 @@ class SourceModule:
     """One parsed source file: dotted name, path, text, AST."""
 
     def __init__(self, name: str, path: Path, rel_path: str,
-                 source: str) -> None:
+                 source: str, tree: Optional[ast.Module] = None) -> None:
         #: Dotted module name (``repro.memsim.routes``).
         self.name = name
         #: Absolute path on disk.
@@ -40,9 +49,14 @@ class SourceModule:
         self.source = source
         #: Source split into lines (1-based access via ``line()``).
         self.lines = source.splitlines()
+        if tree is not None:
+            # An incremental-cache hit hands the parsed tree in —
+            # content-hash keyed, so it matches ``source`` exactly.
+            self.tree: ast.Module = tree
+            return
         try:
             #: Parsed abstract syntax tree.
-            self.tree: ast.Module = ast.parse(source, filename=rel_path)
+            self.tree = ast.parse(source, filename=rel_path)
         except SyntaxError as exc:
             raise AnalysisError(
                 f"cannot parse {rel_path}: {exc}"
@@ -66,7 +80,10 @@ def _module_name(rel: Path) -> str:
 class ProjectIndex:
     """All parsed modules and doc pages of one checkout."""
 
-    def __init__(self, root: "str | Path") -> None:
+    def __init__(self, root: "str | Path",
+                 module_cache: Optional[
+                     Mapping[str, Tuple[str, ast.Module]]
+                 ] = None) -> None:
         self.root = Path(root).resolve()
         src = self.root / "src"
         package_root = src / "repro"
@@ -77,16 +94,31 @@ class ProjectIndex:
             )
         #: Dotted module name → :class:`SourceModule`.
         self.modules: Dict[str, SourceModule] = {}
+        #: Repo-relative path → content digest (cache key material).
+        self.file_digests: Dict[str, str] = {}
+        #: How many modules were adopted from ``module_cache`` instead
+        #: of re-parsed (incremental-cache telemetry).
+        self.modules_reused = 0
         for path in sorted(package_root.rglob("*.py")):
             if "__pycache__" in path.parts:
                 continue
             rel_src = path.relative_to(src)
             name = _module_name(rel_src)
             rel = path.relative_to(self.root).as_posix()
+            source = path.read_text()
+            digest = source_digest(source)
+            self.file_digests[rel] = digest
+            tree: Optional[ast.Module] = None
+            if module_cache is not None:
+                cached = module_cache.get(rel)
+                if cached is not None and cached[0] == digest:
+                    tree = cached[1]
+                    self.modules_reused += 1
             self.modules[name] = SourceModule(
-                name, path, rel, path.read_text()
+                name, path, rel, source, tree=tree
             )
         self._docs: Optional[Dict[str, str]] = None
+        self._call_graph: Optional["CallGraph"] = None
 
     # -- module lookup -------------------------------------------------
     def get(self, name: str) -> Optional[SourceModule]:
@@ -129,3 +161,12 @@ class ProjectIndex:
     def doc_text(self, rel_path: str) -> Optional[str]:
         """Text of one doc page by repo-relative path, or ``None``."""
         return self.docs().get(rel_path)
+
+    # -- whole-program views -------------------------------------------
+    def call_graph(self) -> "CallGraph":
+        """The project-wide call graph (built once, shared by rules)."""
+        if self._call_graph is None:
+            from repro.analyze.callgraph import CallGraph
+
+            self._call_graph = CallGraph(self)
+        return self._call_graph

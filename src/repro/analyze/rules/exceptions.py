@@ -1,0 +1,161 @@
+"""EXC001 — library code raises ReproError subclasses only.
+
+``docs/api.md`` promises callers one catchable base: every error the
+library raises derives from :class:`repro.errors.ReproError`. A stray
+``raise ValueError`` deep in the simulator breaks that contract
+silently — callers who wrote ``except ReproError`` miss it and crash.
+This rule enforces the contract statically over every module under
+``src/repro`` except the process-boundary modules (``repro.cli``,
+``repro.__main__``), where translating to exit codes is the job:
+
+- ``raise <BuiltinError>(...)`` is flagged unless the name is a
+  ReproError subclass. The subclass set is computed by a transitive
+  fixpoint over every ``class X(Y):`` in the project, so adding
+  ``class ObsError(ReproError, ValueError)`` to ``repro.errors``
+  immediately legalizes ``raise ObsError(...)`` everywhere.
+  ``NotImplementedError`` is exempt — the abstract-hook idiom
+  (``raise NotImplementedError`` in a method subclasses must
+  override) is a programming contract, not a runtime error path.
+  Bare ``raise`` (re-raise) and raising a bound variable are allowed.
+- ``except Exception:`` and bare ``except:`` are flagged: a blanket
+  catch in library code swallows programming errors. Where a blanket
+  catch is genuinely required (isolating a worker thread, tolerating
+  a corrupt cache file), carry a reasoned
+  ``# repro: noqa[EXC001] -- why`` on the line.
+
+``except BaseException:`` is deliberately *not* flagged — the two
+in-tree uses re-raise after cleanup, which is exactly what
+BaseException catches are for.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Set
+
+from repro.analyze.findings import Finding
+from repro.analyze.project import ProjectIndex
+from repro.analyze.registry import rule
+
+__all__ = ["check_exception_contract"]
+
+#: Process-boundary modules where raising/catching anything is the job.
+EXEMPT_MODULES = frozenset({"repro.cli", "repro.__main__"})
+
+#: Root of the library's exception hierarchy.
+ROOT_EXCEPTION = "ReproError"
+
+#: Builtin raises that are contracts, not error paths.
+_CONTRACT_RAISES = frozenset({"NotImplementedError"})
+
+
+def _builtin_exceptions() -> Set[str]:
+    """Names of all builtin exception types (derived, not hardcoded)."""
+    names: Set[str] = set()
+    for name in dir(builtins):
+        obj = getattr(builtins, name)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            names.add(name)
+    return names
+
+
+def _base_name(base: ast.expr) -> "str | None":
+    """Final name of a base-class expression (``errors.ReproError``)."""
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def repro_exception_names(project: ProjectIndex) -> Set[str]:
+    """Transitive ReproError subclasses, project-wide, by fixpoint."""
+    edges = []  # (class name, base names)
+    for module in project.iter_modules():
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = {
+                    name for name in map(_base_name, node.bases)
+                    if name is not None
+                }
+                if bases:
+                    edges.append((node.name, bases))
+    known: Set[str] = {ROOT_EXCEPTION}
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in edges:
+            if name not in known and bases & known:
+                known.add(name)
+                changed = True
+    return known
+
+
+def _raised_name(node: ast.Raise) -> "str | None":
+    """Name being raised: ``raise X(...)`` or ``raise X`` → ``X``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    """``except:`` or ``except Exception:`` (aliased or not)."""
+    if handler.type is None:
+        return True
+    htype = handler.type
+    if isinstance(htype, ast.Name):
+        return htype.id == "Exception"
+    if isinstance(htype, ast.Attribute):
+        return htype.attr == "Exception"
+    return False
+
+
+@rule(
+    id="EXC001",
+    name="exception-contract",
+    description=(
+        "library code under src/repro raises only ReproError"
+        " subclasses, and blanket 'except Exception:'/'except:'"
+        " handlers carry a reasoned repro: noqa[EXC001]"
+    ),
+)
+def check_exception_contract(project: ProjectIndex) -> Iterator[Finding]:
+    """Enforce the one-catchable-base exception contract."""
+    info = check_exception_contract.info  # type: ignore[attr-defined]
+    builtin_errors = _builtin_exceptions()
+    allowed = repro_exception_names(project) | _CONTRACT_RAISES
+
+    for module in project.iter_modules():
+        if module.name in EXEMPT_MODULES:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if (
+                    name is not None
+                    and name in builtin_errors
+                    and name not in allowed
+                ):
+                    yield info.finding(
+                        module.rel_path, node.lineno,
+                        f"library code raises builtin {name}; raise a"
+                        f" ReproError subclass instead so callers can"
+                        f" catch one base class (docs/api.md contract)",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                if _catches_everything(node):
+                    what = (
+                        "bare 'except:'" if node.type is None
+                        else "'except Exception:'"
+                    )
+                    yield info.finding(
+                        module.rel_path, node.lineno,
+                        f"{what} in library code swallows programming"
+                        " errors; catch a specific exception, or keep"
+                        " the blanket catch with a reasoned"
+                        " '# repro: noqa[EXC001] -- why'",
+                    )

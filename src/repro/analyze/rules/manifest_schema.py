@@ -1,0 +1,177 @@
+"""SCH001 — manifest blocks, the diff gate, and the docs stay in sync.
+
+The run manifest is the repo's regression currency: ``repro diff``
+gates runs on it, and ``docs/trace-format.md`` documents its schema
+for people writing external tooling. Three surfaces must agree:
+
+- the top-level keys of the dict :meth:`SimReport.manifest`
+  (``repro.core.report``) returns,
+- ``KNOWN_BLOCKS`` in ``repro.obs.manifest_diff`` — the differ skips
+  unknown blocks *by design* (old goldens must keep gating new runs),
+  which means a block missing from ``KNOWN_BLOCKS`` is silently
+  excluded from regression gating forever,
+- the run-manifest schema section of ``docs/trace-format.md``.
+
+This rule extracts the manifest keys statically (dict literals in the
+method's return statements, chasing a returned name to its reaching
+dict definition plus any ``d["key"] = ...`` inserts) and reports:
+
+- a manifest key absent from ``KNOWN_BLOCKS`` (the silent-gating
+  hole), and
+- a manifest key absent from the docs page (schema drift), and
+- a stale ``KNOWN_BLOCKS`` entry no manifest produces.
+
+The docs check is skipped when the checkout ships no
+``docs/trace-format.md`` (rule fixtures, bare packages).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analyze.astutil import module_constant
+from repro.analyze.dataflow import FunctionFlow, walk_function_body
+from repro.analyze.findings import Finding
+from repro.analyze.project import ProjectIndex
+from repro.analyze.registry import rule
+
+__all__ = ["check_manifest_schema"]
+
+#: Module and class producing the run manifest.
+REPORT_MODULE = "repro.core.report"
+REPORT_CLASS = "SimReport"
+REPORT_METHOD = "manifest"
+
+#: Module holding the differ's block whitelist.
+DIFF_MODULE = "repro.obs.manifest_diff"
+BLOCKS_NAME = "KNOWN_BLOCKS"
+
+#: Doc page carrying the run-manifest schema table.
+DOCS_PAGE = "docs/trace-format.md"
+
+
+def _find_method(tree: ast.Module) -> Optional[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == REPORT_CLASS:
+            for sub in node.body:
+                if (
+                    isinstance(sub, ast.FunctionDef)
+                    and sub.name == REPORT_METHOD
+                ):
+                    return sub
+    return None
+
+
+def _dict_keys(expr: ast.expr) -> Set[str]:
+    if not isinstance(expr, ast.Dict):
+        return set()
+    return {
+        key.value for key in expr.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    }
+
+
+def _manifest_keys(method: ast.FunctionDef) -> Set[str]:
+    """Top-level keys of every dict the method can return."""
+    flow = FunctionFlow(method)
+    keys: Set[str] = set()
+    returns: List[ast.Return] = [
+        node for node in walk_function_body(method)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    for ret in returns:
+        value: Optional[ast.expr] = ret.value
+        if isinstance(value, ast.Name):
+            name = value.id
+            value = flow.reaching(name, ret.lineno)
+            # d["key"] = ... inserts between the def and the return
+            # extend the literal's key set.
+            for node in walk_function_body(method):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Subscript)
+                ):
+                    sub = node.targets[0]
+                    if (
+                        isinstance(sub.value, ast.Name)
+                        and sub.value.id == name
+                        and isinstance(sub.slice, ast.Constant)
+                        and isinstance(sub.slice.value, str)
+                    ):
+                        keys.add(sub.slice.value)
+        if value is not None:
+            keys.update(_dict_keys(value))
+    return keys
+
+
+@rule(
+    id="SCH001",
+    name="manifest-schema-sync",
+    description=(
+        "every SimReport.manifest block key must be listed in"
+        " manifest_diff.KNOWN_BLOCKS and documented in"
+        " docs/trace-format.md, and KNOWN_BLOCKS must carry no stale"
+        " entries"
+    ),
+)
+def check_manifest_schema(project: ProjectIndex) -> Iterator[Finding]:
+    """Cross-check manifest keys against the diff gate and the docs."""
+    info = check_manifest_schema.info  # type: ignore[attr-defined]
+    report_mod = project.get(REPORT_MODULE)
+    if report_mod is None:
+        return
+    method = _find_method(report_mod.tree)
+    if method is None:
+        yield info.finding(
+            report_mod.rel_path, 1,
+            f"{REPORT_MODULE} no longer defines"
+            f" {REPORT_CLASS}.{REPORT_METHOD}(); the manifest-schema"
+            " check has nothing to anchor to",
+        )
+        return
+    keys = _manifest_keys(method)
+    if not keys:
+        yield info.finding(
+            report_mod.rel_path, method.lineno,
+            f"{REPORT_CLASS}.{REPORT_METHOD}() returns no statically"
+            " visible dict literal; keep the manifest a literal so"
+            " the schema stays checkable",
+        )
+        return
+
+    diff_mod = project.get(DIFF_MODULE)
+    known: Set[str] = set()
+    blocks_line = 0
+    if diff_mod is not None:
+        value, blocks_line = module_constant(diff_mod.tree, BLOCKS_NAME)
+        if isinstance(value, (set, frozenset, tuple, list)):
+            known = {v for v in value if isinstance(v, str)}
+        for key in sorted(keys - known):
+            yield info.finding(
+                report_mod.rel_path, method.lineno,
+                f"manifest block {key!r} is missing from"
+                f" {DIFF_MODULE}.{BLOCKS_NAME}; the differ would skip"
+                " it silently and the block would never gate a"
+                " regression",
+            )
+        if known:
+            for stale in sorted(known - keys):
+                yield info.finding(
+                    diff_mod.rel_path, blocks_line,
+                    f"{BLOCKS_NAME} entry {stale!r} matches no"
+                    f" {REPORT_CLASS}.{REPORT_METHOD}() block; drop"
+                    " the stale entry or produce the block",
+                )
+
+    docs = project.doc_text(DOCS_PAGE)
+    if docs is not None:
+        for key in sorted(keys):
+            if f'"{key}"' not in docs:
+                yield info.finding(
+                    report_mod.rel_path, method.lineno,
+                    f"manifest block {key!r} is not documented in"
+                    f" {DOCS_PAGE}; external tooling reads the schema"
+                    " from that page",
+                )

@@ -363,7 +363,7 @@ def _generate_bundle(
             gen_span.annotate(
                 events=source.num_events, trace_bytes=source.nbytes
             )
-    except Exception:
+    except Exception:  # repro: noqa[EXC001] -- cleanup-and-reraise: abort the spool on any failure, then propagate it unchanged
         if isinstance(builder, SpoolingTraceBuilder):
             builder.abort()
         if spool is not None:

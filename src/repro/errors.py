@@ -37,3 +37,12 @@ class OffloadError(ReproError):
 
 class DatasetError(ReproError):
     """Raised for unknown dataset names or bad dataset parameters."""
+
+
+class ObsError(ReproError, ValueError):
+    """Raised for invalid telemetry inputs (metrics, timeline, logging).
+
+    Also a :class:`ValueError` for backward compatibility: these were
+    historically raised as bare ``ValueError``, and callers that catch
+    that keep working.
+    """

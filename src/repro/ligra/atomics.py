@@ -19,6 +19,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.errors import SimulationError
+
 __all__ = ["AtomicOp", "apply_atomic", "scatter_atomic"]
 
 
@@ -72,7 +74,7 @@ def _combine(op: AtomicOp, current: np.ndarray, operand: np.ndarray) -> np.ndarr
         # unless it still holds the sentinel.
         sentinel = np.iinfo(current.dtype).max if current.dtype.kind in "iu" else -1
         return np.where(current == sentinel, operand, current)
-    raise ValueError(f"unsupported atomic op {op}")  # pragma: no cover
+    raise SimulationError(f"unsupported atomic op {op}")  # pragma: no cover
 
 
 def apply_atomic(op: AtomicOp, current: np.ndarray, operand: np.ndarray) -> np.ndarray:

@@ -364,7 +364,7 @@ class SegmentedTrace:
                         _read_member(zf, "region_class.npy"),
                     )
                 )
-        except Exception:
+        except Exception:  # repro: noqa[EXC001] -- cleanup-and-reraise: close the archive on any failure, then propagate it unchanged
             zf.close()
             raise
         return cls(
@@ -490,7 +490,7 @@ class SegmentedTrace:
                 writer.append(self._segment_columns(index))
             writer.close(barriers=self.barriers.tolist(),
                          regions=self.regions)
-        except Exception:
+        except Exception:  # repro: noqa[EXC001] -- cleanup-and-reraise: abort the partial spool on any failure, then propagate it unchanged
             writer.abort()
             raise
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import logging
 
+from repro.errors import ObsError
+
 __all__ = ["configure_logging", "LOG_LEVELS"]
 
 #: Accepted ``--log-level`` names, in increasing verbosity.
@@ -31,7 +33,7 @@ def configure_logging(level: str = "warning") -> None:
     """
     name = str(level).lower()
     if name not in LOG_LEVELS:
-        raise ValueError(
+        raise ObsError(
             f"unknown log level {level!r}; choose from {', '.join(LOG_LEVELS)}"
         )
     logger = logging.getLogger("repro")

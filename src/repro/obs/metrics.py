@@ -33,6 +33,8 @@ import threading
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.errors import ObsError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -59,7 +61,7 @@ def percentile(values: Sequence[float], p: float) -> float:
     """
     data = sorted(float(v) for v in values)
     if not data:
-        raise ValueError("percentile of an empty sequence")
+        raise ObsError("percentile of an empty sequence")
     if len(data) == 1:
         return data[0]
     rank = (p / 100.0) * (len(data) - 1)
@@ -100,7 +102,7 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
-            raise ValueError(f"counter {self.name} increment < 0: {amount}")
+            raise ObsError(f"counter {self.name} increment < 0: {amount}")
         self.value += amount
 
 
@@ -198,7 +200,7 @@ class MetricsRegistry:
             inst = cls(name)
             self._instruments[name] = inst
         elif not isinstance(inst, cls):
-            raise ValueError(
+            raise ObsError(
                 f"metric {name!r} already registered as"
                 f" {type(inst).__name__}, not {cls.__name__}"
             )

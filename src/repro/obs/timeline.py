@@ -23,6 +23,7 @@ import json
 import os
 from typing import Dict, List, Optional
 
+from repro.errors import ObsError
 from repro.obs.metrics import summarize
 
 __all__ = ["ReplaySampler", "Timeline", "TIMELINE_SCHEMA"]
@@ -171,7 +172,7 @@ class ReplaySampler:
 
     def __init__(self, window_events: int = 0) -> None:
         if window_events < 0:
-            raise ValueError(
+            raise ObsError(
                 f"window_events must be >= 0, got {window_events}"
             )
         self.window_events = window_events

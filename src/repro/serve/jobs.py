@@ -215,7 +215,9 @@ class JobManager:
         }
 
     # -- submission ----------------------------------------------------
-    def submit(self, spec: JobSpec) -> Tuple[str, Optional[Job], Optional[Dict]]:
+    def submit(
+        self, spec: JobSpec
+    ) -> Tuple[str, Optional[Job], Optional[Dict[str, Any]]]:
         """Route one request.
 
         Returns ``(state, job, manifest)`` where ``state`` is ``"warm"``
@@ -254,7 +256,7 @@ class JobManager:
         job.status = RUNNING
         try:
             manifest = self._runner(job.spec, job.progress.append)
-        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+        except Exception as exc:  # noqa: BLE001  # repro: noqa[EXC001] -- worker-thread boundary: any job failure becomes a FAILED status surfaced to the client
             with self._lock:
                 job.status = FAILED
                 job.error = f"{type(exc).__name__}: {exc}"

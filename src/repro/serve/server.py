@@ -36,12 +36,15 @@ import logging
 import threading
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.core.context import RunContext, RunRequest
 from repro.errors import SimulationError
 from repro.obs.tracer import SpanTracer
 from repro.serve.jobs import JobManager, JobSpec, QueueFullError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import _OpenSpan
 
 __all__ = ["ReproServer", "make_server", "make_system_runner", "run_server"]
 
@@ -64,7 +67,7 @@ class _ProgressTracer(SpanTracer):
         super().__init__()
         self._on_close = on_close
 
-    def _close(self, span, end) -> None:
+    def _close(self, span: "_OpenSpan", end: float) -> None:
         super()._close(span, end)
         self._on_close(span.name)
 
@@ -116,11 +119,11 @@ def make_system_runner(
 class _Handler(BaseHTTPRequestHandler):
     """Request handler; the owning :class:`ReproServer` has the manager."""
 
-    server: "ReproServer"
+    server: "ReproServer"  # type: ignore[assignment]
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------
-    def log_message(self, fmt: str, *args) -> None:
+    def log_message(self, fmt: str, *args: Any) -> None:
         _LOG.debug("%s %s", self.address_string(), fmt % args)
 
     def _reply(self, status: int, doc: Dict[str, Any]) -> None:
@@ -192,7 +195,8 @@ class ReproServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, manager: JobManager) -> None:
+    def __init__(self, address: Tuple[str, int],
+                 manager: JobManager) -> None:
         super().__init__(address, _Handler)
         self.manager = manager
 

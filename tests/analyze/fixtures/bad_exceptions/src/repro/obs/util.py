@@ -1,0 +1,10 @@
+"""Telemetry helper that leaks builtin exceptions past the contract."""
+
+
+def parse_level(name):
+    if not name:
+        raise ValueError("empty level name")
+    try:
+        return int(name)
+    except Exception:
+        return 0

@@ -1,0 +1,15 @@
+"""Histogram folds that accumulate into int32 — wraps at scale."""
+
+import numpy as np
+
+
+def fold(events, nbins):
+    hist = np.zeros(nbins, dtype=np.int32)
+    hist += np.bincount(events, minlength=nbins)
+    return hist
+
+
+def scatter(length, idx, vals):
+    acc = np.zeros(length, dtype=np.int32)
+    np.add.at(acc, idx, vals)
+    return acc

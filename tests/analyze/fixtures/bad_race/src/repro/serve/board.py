@@ -1,0 +1,27 @@
+"""A result board whose worker writes shared state without the lock."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class ResultBoard:
+    """Fans work across a pool but forgets the lock on the way back."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=2)
+        self._results = {}
+        self._done = 0
+
+    def submit(self, key):
+        self._pool.submit(self._run, key)
+        return key
+
+    def _run(self, key):
+        value = key * 2
+        self._results[key] = value
+        self._done += 1
+
+    def get(self, key):
+        with self._lock:
+            return self._results.get(key)

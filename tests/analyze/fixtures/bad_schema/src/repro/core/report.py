@@ -1,0 +1,12 @@
+"""A manifest with a block the diff gate has never heard of."""
+
+MANIFEST_SCHEMA = "omega-repro/run-manifest/v0"
+
+
+class SimReport:
+    def manifest(self):
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "workload": {},
+            "mystery": 1,
+        }

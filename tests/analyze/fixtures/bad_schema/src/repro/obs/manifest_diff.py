@@ -1,0 +1,3 @@
+"""Diff gate whose whitelist drifted from the manifest producer."""
+
+KNOWN_BLOCKS = frozenset({"schema", "workload", "stale_block"})

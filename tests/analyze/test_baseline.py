@@ -1,0 +1,111 @@
+"""Baseline ratchet: accepted findings reported but non-fatal."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    load_baseline,
+    run_battery,
+    write_baseline,
+)
+from repro.analyze.baseline import BASELINE_SCHEMA, fingerprint
+from repro.cli import main
+from repro.errors import ReproError
+
+from tests.analyze.conftest import fixture_tree
+
+
+def test_write_then_load_round_trips(tmp_path):
+    findings = run_battery(fixture_tree("bad_routing")).findings
+    assert findings
+    path = tmp_path / "baseline.json"
+    count = write_baseline(path, findings)
+    assert count == len({fingerprint(f) for f in findings})
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == BASELINE_SCHEMA
+    assert load_baseline(path) == {fingerprint(f) for f in findings}
+
+
+def test_baselined_findings_do_not_fail_the_battery(tmp_path):
+    root = fixture_tree("bad_race")
+    first = run_battery(root)
+    assert first.exit_code() == 1
+    path = tmp_path / "baseline.json"
+    write_baseline(path, first.findings)
+
+    second = run_battery(root, baseline=load_baseline(path))
+    assert second.exit_code() == 0
+    assert second.findings == []
+    assert second.baselined == first.findings
+
+
+def test_baseline_is_line_independent():
+    # Fingerprints carry no line number: (rule, path, message) only.
+    finding = run_battery(fixture_tree("bad_race")).findings[0]
+    assert fingerprint(finding) == (
+        finding.rule, finding.path, finding.message
+    )
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(ReproError):
+        load_baseline(path)
+    path.write_text(json.dumps({"schema": "wrong/schema", "entries": []}))
+    with pytest.raises(ReproError):
+        load_baseline(path)
+    path.write_text(json.dumps(
+        {"schema": BASELINE_SCHEMA, "entries": [{"rule": "X"}]}
+    ))
+    with pytest.raises(ReproError):
+        load_baseline(path)
+
+
+def test_missing_baseline_file_raises(tmp_path):
+    with pytest.raises(ReproError):
+        load_baseline(tmp_path / "absent.json")
+
+
+def test_cli_update_then_apply_baseline(tmp_path, capsys):
+    root = str(fixture_tree("bad_numpyfold"))
+    path = tmp_path / "baseline.json"
+
+    code = main([
+        "lint", "--root", root, "--no-cache",
+        "--baseline", str(path), "--update-baseline",
+    ])
+    assert code == 0
+    assert f"baseline: {path}" in capsys.readouterr().out
+
+    code = main([
+        "lint", "--root", root, "--no-cache", "--baseline", str(path),
+    ])
+    assert code == 0
+    assert "2 baselined" in capsys.readouterr().out
+
+    # Without the baseline the same checkout still fails.
+    code = main(["lint", "--root", root, "--no-cache"])
+    capsys.readouterr()
+    assert code == 1
+
+
+def test_cli_update_baseline_requires_a_path(capsys):
+    code = main([
+        "lint", "--root", str(fixture_tree("clean")), "--no-cache",
+        "--update-baseline",
+    ])
+    assert code == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_cli_malformed_baseline_is_usage_error(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    code = main([
+        "lint", "--root", str(fixture_tree("clean")), "--no-cache",
+        "--baseline", str(path),
+    ])
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err

@@ -1,0 +1,102 @@
+"""Incremental lint cache: warm runs reuse work, findings identical."""
+
+import shutil
+import time
+
+import pytest
+
+from repro.analyze import dump_json, run_battery, to_sarif
+
+from tests.analyze.conftest import REPO_ROOT, fixture_tree
+
+
+@pytest.fixture
+def checkout(tmp_path):
+    """A writable copy of the bad_routing fixture checkout."""
+    dst = tmp_path / "checkout"
+    shutil.copytree(fixture_tree("bad_routing"), dst)
+    return dst
+
+
+def test_warm_run_hits_the_battery_cache(checkout, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_battery(checkout, cache_dir=cache_dir)
+    assert cold.cache.enabled
+    assert not cold.cache.battery_hit
+    assert cold.cache.modules_reused == 0
+    assert cold.cache.describe().startswith("cold")
+
+    warm = run_battery(checkout, cache_dir=cache_dir)
+    assert warm.cache.battery_hit
+    assert warm.cache.describe().startswith("warm")
+    assert warm.findings == cold.findings
+    assert warm.suppressed == cold.suppressed
+
+
+def test_warm_sarif_is_byte_identical(checkout, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_battery(checkout, cache_dir=cache_dir)
+    warm = run_battery(checkout, cache_dir=cache_dir)
+    cold_doc = dump_json(to_sarif(cold.findings, cold.rules))
+    warm_doc = dump_json(to_sarif(warm.findings, warm.rules))
+    assert cold_doc == warm_doc
+
+
+def test_editing_one_module_invalidates_only_it(checkout, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_battery(checkout, cache_dir=cache_dir)
+    total = cold.cache.modules_total
+    assert total >= 2
+
+    hw = checkout / "src" / "repro" / "memsim" / "backends" / "hw.py"
+    hw.write_text(hw.read_text() + "\n# trailing comment\n")
+
+    partial = run_battery(checkout, cache_dir=cache_dir)
+    assert not partial.cache.battery_hit
+    assert partial.cache.modules_reused == total - 1
+    assert partial.cache.describe().startswith("partial")
+    # A trailing comment changes the digest, not the findings.
+    assert partial.findings == cold.findings
+
+
+def test_disabled_cache_reports_off(checkout):
+    result = run_battery(checkout)
+    assert not result.cache.enabled
+    assert result.cache.describe() == "off"
+
+
+def test_rule_selection_is_part_of_the_cache_key(checkout, tmp_path):
+    cache_dir = tmp_path / "cache"
+    full = run_battery(checkout, cache_dir=cache_dir)
+    assert full.findings
+    subset = run_battery(checkout, rules=["DOC001"], cache_dir=cache_dir)
+    assert not subset.cache.battery_hit
+    assert all(f.rule != "RTE001" for f in subset.findings)
+
+
+def test_corrupt_cache_files_are_ignored(checkout, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = run_battery(checkout, cache_dir=cache_dir)
+    for entry in cache_dir.iterdir():
+        entry.write_text("not a cache entry")
+    again = run_battery(checkout, cache_dir=cache_dir)
+    assert not again.cache.battery_hit
+    assert again.findings == cold.findings
+
+
+@pytest.mark.slow
+def test_warm_run_is_at_least_3x_faster_on_the_real_checkout(tmp_path):
+    cache_dir = tmp_path / "cache"
+    t0 = time.perf_counter()
+    cold = run_battery(REPO_ROOT, cache_dir=cache_dir)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_battery(REPO_ROOT, cache_dir=cache_dir)
+    t_warm = time.perf_counter() - t0
+
+    assert warm.cache.battery_hit
+    assert warm.findings == cold.findings
+    assert t_warm * 3 <= t_cold, (
+        f"warm {t_warm:.3f}s vs cold {t_cold:.3f}s: expected >=3x"
+    )

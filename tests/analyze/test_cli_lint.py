@@ -13,6 +13,10 @@ BAD_FIXTURES = (
     "bad_protocol",
     "bad_docsync",
     "bad_suppression",
+    "bad_race",
+    "bad_exceptions",
+    "bad_numpyfold",
+    "bad_schema",
 )
 
 
@@ -46,8 +50,10 @@ def test_lint_json_format(capsys):
     ])
     assert code == 1
     doc = json.loads(capsys.readouterr().out)
-    assert doc["schema"] == "omega-repro/lint/v1"
+    assert doc["schema"] == "omega-repro/lint/v2"
     assert doc["summary"]["errors"] == 1
+    assert doc["summary"]["baselined"] == 0
+    assert doc["baselined"] == []
     assert doc["findings"][0]["rule"] == "DET001"
 
 
@@ -88,3 +94,13 @@ def test_lint_bad_root_is_usage_error(tmp_path, capsys):
     code = main(["lint", "--root", str(tmp_path)])
     assert code == 2
     assert "no src/repro package" in capsys.readouterr().err
+
+
+def test_unknown_rule_fails_before_parsing(tmp_path, capsys):
+    # Rule-id resolution happens first: on a root with nothing to
+    # parse, the unknown id is still the error that wins.
+    code = main(["lint", "--root", str(tmp_path), "--rules", "NOPE001"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+    assert "no src/repro package" not in err

@@ -1,0 +1,144 @@
+"""EXC001: library code raises ReproError subclasses, not builtins."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+
+def exc(root):
+    result = run_battery(root, rules=["EXC001"])
+    return [f for f in result.findings if f.rule == "EXC001"]
+
+
+def test_bad_fixture_flags_builtin_raise_and_blanket_catch():
+    findings = exc(fixture_tree("bad_exceptions"))
+    assert len(findings) == 2
+    by_line = {f.line: f for f in findings}
+    assert by_line[6].path == "src/repro/obs/util.py"
+    assert "raises builtin ValueError" in by_line[6].message
+    assert "swallows programming errors" in by_line[9].message
+
+
+def test_repro_error_subclass_is_clean(tree):
+    root = tree({
+        "src/repro/errors.py": """\
+            class ReproError(Exception):
+                pass
+
+
+            class ObsError(ReproError, ValueError):
+                pass
+            """,
+        "src/repro/obs/__init__.py": "",
+        "src/repro/obs/util.py": """\
+            from repro.errors import ObsError
+
+
+            def parse_level(name):
+                if not name:
+                    raise ObsError("empty level name")
+                return name.upper()
+            """,
+    })
+    assert exc(root) == []
+
+
+def test_transitive_subclasses_are_recognised(tree):
+    # DeepError -> MidError -> ReproError: the fixpoint must chase it.
+    root = tree({
+        "src/repro/errors.py": """\
+            class ReproError(Exception):
+                pass
+
+
+            class MidError(ReproError):
+                pass
+
+
+            class DeepError(MidError):
+                pass
+            """,
+        "src/repro/core/__init__.py": "",
+        "src/repro/core/engine.py": """\
+            from repro.errors import DeepError
+
+
+            def check(flag):
+                if not flag:
+                    raise DeepError("nope")
+            """,
+    })
+    assert exc(root) == []
+
+
+def test_not_implemented_error_is_contract_exempt(tree):
+    root = tree({
+        "src/repro/core/__init__.py": "",
+        "src/repro/core/base.py": """\
+            class Backend:
+                def route(self, events):
+                    raise NotImplementedError
+            """,
+    })
+    assert exc(root) == []
+
+
+def test_cli_module_is_exempt(tree):
+    # The CLI boundary legitimately deals in SystemExit/ValueError.
+    root = tree({
+        "src/repro/cli.py": """\
+            def main(argv):
+                try:
+                    return int(argv[0])
+                except Exception:
+                    raise ValueError("bad argv")
+            """,
+    })
+    assert exc(root) == []
+
+
+def test_bare_except_is_flagged(tree):
+    root = tree({
+        "src/repro/core/__init__.py": "",
+        "src/repro/core/loader.py": """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+    })
+    findings = exc(root)
+    assert len(findings) == 1
+    assert "bare 'except:'" in findings[0].message
+
+
+def test_specific_catch_is_clean(tree):
+    root = tree({
+        "src/repro/core/__init__.py": "",
+        "src/repro/core/loader.py": """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except OSError:
+                    return None
+            """,
+    })
+    assert exc(root) == []
+
+
+def test_noqa_keeps_a_reasoned_blanket_catch(tree):
+    root = tree({
+        "src/repro/core/__init__.py": "",
+        "src/repro/core/spool.py": """\
+            def drain(spool):
+                try:
+                    spool.flush()
+                except Exception:  # repro: noqa[EXC001] -- cleanup boundary: abort then re-raise
+                    spool.abort()
+                    raise
+            """,
+    })
+    result = run_battery(root, rules=["EXC001"])
+    assert [f.rule for f in result.findings] == []
+    assert [f.rule for f in result.suppressed] == ["EXC001"]

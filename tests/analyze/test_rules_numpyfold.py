@@ -1,0 +1,132 @@
+"""NPY001: bincount/add.at accumulators must be explicit 64-bit."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+
+def npy(root):
+    result = run_battery(root, rules=["NPY001"])
+    return [f for f in result.findings if f.rule == "NPY001"]
+
+
+def test_bad_fixture_flags_narrow_accumulators():
+    findings = npy(fixture_tree("bad_numpyfold"))
+    assert len(findings) == 2
+    by_line = {f.line: f for f in findings}
+    assert "np.bincount fold" in by_line[8].message
+    assert "np.add.at" in by_line[14].message
+    for f in findings:
+        assert f.path == "src/repro/memsim/hist.py"
+
+
+def test_int64_accumulator_is_clean(tree):
+    root = tree({
+        "src/repro/memsim/__init__.py": "",
+        "src/repro/memsim/hist.py": """\
+            import numpy as np
+
+
+            def fold(events, nbins):
+                hist = np.zeros(nbins, dtype=np.int64)
+                hist += np.bincount(events, minlength=nbins)
+                return hist
+
+
+            def scatter(idx, vals, length):
+                acc = np.zeros(length, dtype=np.uint64)
+                np.add.at(acc, idx, vals)
+                return acc
+            """,
+    })
+    assert npy(root) == []
+
+
+def test_float_zeros_default_dtype_is_wide(tree):
+    # np.zeros with no dtype is float64 — wide by construction.
+    root = tree({
+        "src/repro/memsim/__init__.py": "",
+        "src/repro/memsim/hist.py": """\
+            import numpy as np
+
+
+            def fold(weights, nbins, events):
+                hist = np.zeros(nbins)
+                hist += np.bincount(events, weights=weights, minlength=nbins)
+                return hist
+            """,
+    })
+    assert npy(root) == []
+
+
+def test_dtype_inherited_through_zeros_like(tree):
+    root = tree({
+        "src/repro/memsim/__init__.py": "",
+        "src/repro/memsim/hist.py": """\
+            import numpy as np
+
+
+            def fold(events, nbins):
+                base = np.zeros(nbins, dtype=np.int64)
+                hist = np.zeros_like(base)
+                hist += np.bincount(events, minlength=nbins)
+                return hist
+            """,
+    })
+    assert npy(root) == []
+
+
+def test_narrow_attribute_accumulator_is_flagged(tree):
+    root = tree({
+        "src/repro/memsim/__init__.py": "",
+        "src/repro/memsim/stats.py": """\
+            import numpy as np
+
+
+            class BinStats:
+                def __init__(self, nbins):
+                    self._hist = np.zeros(nbins, dtype=np.int32)
+
+                def fold(self, events):
+                    self._hist += np.bincount(events, minlength=len(self._hist))
+            """,
+    })
+    findings = npy(root)
+    assert len(findings) == 1
+    assert "narrow dtype" in findings[0].message
+
+
+def test_unknown_width_is_flagged_with_distinct_message(tree):
+    # A parameter of unknown dtype: the rule can't prove 64-bit width.
+    root = tree({
+        "src/repro/memsim/__init__.py": "",
+        "src/repro/memsim/hist.py": """\
+            import numpy as np
+
+
+            def fold(hist, events, nbins):
+                hist += np.bincount(events, minlength=nbins)
+                return hist
+            """,
+    })
+    findings = npy(root)
+    assert len(findings) == 1
+    assert "cannot be determined statically" in findings[0].message
+
+
+def test_noqa_keeps_a_justified_narrow_fold(tree):
+    root = tree({
+        "src/repro/memsim/__init__.py": "",
+        "src/repro/memsim/hist.py": """\
+            import numpy as np
+
+
+            def fold(events, nbins):
+                hist = np.zeros(nbins, dtype=np.int32)
+                hist += np.bincount(events, minlength=nbins)  # repro: noqa[NPY001] -- nbins < 2**31 by construction
+                return hist
+            """,
+    })
+    result = run_battery(root, rules=["NPY001"])
+    assert [f.rule for f in result.findings] == []
+    assert [f.rule for f in result.suppressed] == ["NPY001"]

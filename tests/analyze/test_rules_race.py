@@ -1,0 +1,222 @@
+"""RAC001: shared-state writes need the lock (or a declared excuse)."""
+
+from repro.analyze import run_battery
+
+from tests.analyze.conftest import fixture_tree
+
+
+def rac(root):
+    result = run_battery(root, rules=["RAC001"])
+    return [f for f in result.findings if f.rule == "RAC001"]
+
+
+SERVE_INIT = '"""Fixture serve package."""\n'
+
+
+def test_bad_fixture_flags_unguarded_pool_writes():
+    findings = rac(fixture_tree("bad_race"))
+    assert len(findings) == 2
+    messages = [f.message for f in findings]
+    assert any("ResultBoard._results" in m for m in messages)
+    assert any("ResultBoard._done" in m for m in messages)
+    for f in findings:
+        assert f.path == "src/repro/serve/board.py"
+        assert "worker pool" in f.message
+
+
+def test_locked_writes_are_clean(tree):
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/board.py": """\
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            class ResultBoard:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._pool = ThreadPoolExecutor(max_workers=2)
+                    self._results = {}
+
+                def submit(self, key):
+                    self._pool.submit(self._run, key)
+
+                def _run(self, key):
+                    with self._lock:
+                        self._results[key] = key * 2
+
+                def get(self, key):
+                    with self._lock:
+                        return self._results.get(key)
+            """,
+    })
+    assert rac(root) == []
+
+
+def test_single_threaded_class_needs_no_lock(tree):
+    # No spawn site anywhere → only the ambient root → nothing races.
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/plain.py": """\
+            class Plain:
+                def __init__(self):
+                    self._counts = {}
+
+                def bump(self, key):
+                    self._counts[key] = self._counts.get(key, 0) + 1
+            """,
+    })
+    assert rac(root) == []
+
+
+def test_thread_spawn_counts_as_a_root(tree):
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/ticker.py": """\
+            import threading
+
+
+            class Ticker:
+                def __init__(self):
+                    self._ticks = 0
+                    self._thread = threading.Thread(target=self._loop)
+
+                def start(self):
+                    self._thread.start()
+
+                def _loop(self):
+                    self._ticks += 1
+
+                def read(self):
+                    return self._ticks
+            """,
+    })
+    findings = rac(root)
+    assert len(findings) == 1
+    assert "Ticker._ticks" in findings[0].message
+    assert "a thread via" in findings[0].message
+
+
+def test_threadsafe_containers_are_exempt(tree):
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/safe.py": """\
+            import queue
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            class SafeBoard:
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor(max_workers=2)
+                    self._out = queue.Queue()
+                    self._stop = threading.Event()
+
+                def submit(self, key):
+                    self._pool.submit(self._run, key)
+
+                def _run(self, key):
+                    self._out.put(key)
+                    self._stop.set()
+            """,
+    })
+    assert rac(root) == []
+
+
+def test_single_writer_declaration_is_honoured(tree):
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/declared.py": """\
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            class Declared:
+                _RAC_SINGLE_WRITER = ("_progress",)
+
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor(max_workers=1)
+                    self._progress = []
+
+                def submit(self, key):
+                    self._pool.submit(self._run, key)
+
+                def _run(self, key):
+                    self._progress.append(key)
+
+                def peek(self):
+                    return list(self._progress)
+            """,
+    })
+    assert rac(root) == []
+
+
+def test_process_pools_do_not_create_roots(tree):
+    # Separate address spaces: ProcessPoolExecutor.submit races nobody.
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/procs.py": """\
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            class ProcBoard:
+                def __init__(self):
+                    self._pool = ProcessPoolExecutor(max_workers=2)
+                    self._submitted = 0
+
+                def submit(self, key):
+                    self._submitted += 1
+                    self._pool.submit(_work, key)
+
+
+            def _work(key):
+                return key * 2
+            """,
+    })
+    assert rac(root) == []
+
+
+def test_init_writes_are_exempt(tree):
+    # The constructor publishes nothing; only post-init writes count.
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/initonly.py": """\
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            class InitOnly:
+                def __init__(self, keys):
+                    self._pool = ThreadPoolExecutor(max_workers=2)
+                    self._snapshot = dict(keys)
+
+                def submit(self, key):
+                    self._pool.submit(self._run, key)
+
+                def _run(self, key):
+                    return self._snapshot.get(key)
+            """,
+    })
+    assert rac(root) == []
+
+
+def test_noqa_silences_a_reviewed_write(tree):
+    root = tree({
+        "src/repro/serve/__init__.py": SERVE_INIT,
+        "src/repro/serve/reviewed.py": """\
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            class Reviewed:
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor(max_workers=1)
+                    self._last = None
+
+                def submit(self, key):
+                    self._pool.submit(self._run, key)
+
+                def _run(self, key):
+                    self._last = key  # repro: noqa[RAC001] -- last-write-wins telemetry; torn reads acceptable
+            """,
+    })
+    result = run_battery(root, rules=["RAC001"])
+    assert [f.rule for f in result.findings] == []
+    assert [f.rule for f in result.suppressed] == ["RAC001"]

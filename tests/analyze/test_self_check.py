@@ -29,7 +29,8 @@ def test_battery_rules_cover_the_advertised_families():
     result = run_battery(REPO_ROOT)
     ids = {info.id for info in result.rules}
     assert {"DET001", "CNT001", "RTE001", "PRT001", "DOC001",
-            "SUP001", "ENV001"} <= ids
+            "SUP001", "ENV001", "RAC001", "EXC001", "NPY001",
+            "SCH001"} <= ids
 
 
 @pytest.fixture
@@ -114,3 +115,50 @@ def test_snapshotting_a_ghost_counter_trips_cnt001(scratch_src):
     assert needle in text
     timeline.write_text(text.replace(needle, '    "l1_hitz",\n'))
     assert "CNT001" in _rules_fired(scratch_src)
+
+
+def test_dropping_the_job_manager_lock_trips_rac001(scratch_src):
+    # The careless edit: the manifest write in the worker thread loses
+    # its lock region but keeps its indentation.
+    jobs = scratch_src / "src/repro/serve/jobs.py"
+    text = jobs.read_text()
+    needle = "        with self._lock:\n            job.manifest = manifest\n"
+    assert needle in text
+    jobs.write_text(text.replace(
+        needle, "        if True:\n            job.manifest = manifest\n"
+    ))
+    assert "RAC001" in _rules_fired(scratch_src)
+
+
+def test_builtin_raise_in_library_code_trips_exc001(scratch_src):
+    metrics = scratch_src / "src/repro/obs/metrics.py"
+    with metrics.open("a") as fh:
+        fh.write(
+            "\n\ndef _reject(value):\n"
+            "    raise ValueError(value)\n"
+        )
+    assert "EXC001" in _rules_fired(scratch_src)
+
+
+def test_narrowing_the_replay_accumulator_trips_npy001(scratch_src):
+    replay = scratch_src / "src/repro/memsim/replay.py"
+    text = replay.read_text()
+    needle = "        counts = np.zeros(ncores, dtype=np.int64)\n"
+    assert needle in text
+    replay.write_text(text.replace(
+        needle, "        counts = np.zeros(ncores, dtype=np.int32)\n"
+    ))
+    assert "NPY001" in _rules_fired(scratch_src)
+
+
+def test_new_manifest_block_without_gating_trips_sch001(scratch_src):
+    # scratch_src ships no docs tree, so only the KNOWN_BLOCKS half of
+    # the sync check can fire — which is exactly the tampered half.
+    report = scratch_src / "src/repro/core/report.py"
+    text = report.read_text()
+    needle = '            "telemetry": self.telemetry(),\n'
+    assert needle in text
+    report.write_text(text.replace(
+        needle, '            "zz_new": 0,\n' + needle
+    ))
+    assert "SCH001" in _rules_fired(scratch_src)

@@ -4,6 +4,8 @@ import logging
 
 import pytest
 
+from repro.errors import ObsError
+
 from repro.obs import LOG_LEVELS, configure_logging
 
 
@@ -29,7 +31,7 @@ class TestConfigureLogging:
             configure_logging("warning")
 
     def test_unknown_level_raises(self):
-        with pytest.raises(ValueError, match="unknown log level"):
+        with pytest.raises(ObsError, match="unknown log level"):
             configure_logging("loud")
 
     def test_all_documented_levels_accepted(self):

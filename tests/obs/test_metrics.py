@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import ObsError
+
 from repro.obs import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -23,7 +25,7 @@ class TestInstruments:
 
     def test_counter_rejects_negative(self):
         c = MetricsRegistry().counter("x")
-        with pytest.raises(ValueError):
+        with pytest.raises(ObsError):
             c.inc(-1)
 
     def test_gauge_set_and_add(self):
@@ -48,7 +50,7 @@ class TestInstruments:
     def test_kind_collision_raises(self):
         reg = MetricsRegistry()
         reg.counter("a")
-        with pytest.raises(ValueError):
+        with pytest.raises(ObsError):
             reg.gauge("a")
 
 
@@ -103,7 +105,7 @@ class TestPercentiles:
             )
 
     def test_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ObsError):
             percentile([], 50)
 
     def test_summarize_empty_safe(self):

@@ -5,6 +5,8 @@ import json
 
 import pytest
 
+from repro.errors import ObsError
+
 from repro.config import SimConfig
 from repro.core.system import run_system
 from repro.graph.generators import rmat_graph
@@ -26,7 +28,7 @@ def _sampler(window=0, total=100):
 
 class TestReplaySampler:
     def test_rejects_negative_window(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ObsError):
             ReplaySampler(-1)
 
     def test_auto_window_targets_64(self):
